@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def published():
+    """Published values used by the regeneration benches for shape checks."""
+    return {
+        "table5_total_mw": {0.05: 120.9, 0.10: 141.4, 0.50: 305.3, 0.875: 458.9},
+        "table4_le": {"EP1C3T100C6": 1656, "EP2C5T144C6": 906},
+        "table7_scaled_mw": {
+            "TI GC4016": 13.8,
+            "Customised Low Power DDC": 8.7,
+            "Montium TP": 38.7,
+        },
+    }

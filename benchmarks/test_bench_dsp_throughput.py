@@ -1,0 +1,67 @@
+"""Throughput benches of the DSP kernels.
+
+Not a paper artefact, but the numbers a library user cares about: samples
+per second each stage and the whole gold-model DDC sustain in this
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DDC, FixedDDC, REFERENCE_DDC
+from repro.dsp.cic import CICDecimator, FixedCICDecimator
+from repro.dsp.fir import PolyphaseDecimator
+from repro.dsp.firdesign import reference_fir_taps
+from repro.dsp.nco import NCO
+from repro.dsp.signals import quantize_to_adc, tone
+
+N = 2688 * 32  # ~86k input samples
+
+
+@pytest.fixture(scope="module")
+def tone_block():
+    return tone(N, 10.005e6, REFERENCE_DDC.input_rate_hz, 0.8)
+
+
+@pytest.fixture(scope="module")
+def adc_block(tone_block):
+    return quantize_to_adc(tone_block, 12)
+
+
+def test_bench_nco_generate(benchmark):
+    nco = NCO(REFERENCE_DDC.input_rate_hz, 10e6)
+    benchmark(nco.generate, N)
+
+
+def test_bench_cic2_float(benchmark, tone_block):
+    cic = CICDecimator(2, 16)
+    benchmark(cic.process, tone_block)
+
+
+def test_bench_cic5_float(benchmark, tone_block):
+    cic = CICDecimator(5, 21)
+    benchmark(cic.process, tone_block[: N // 16])
+
+
+def test_bench_cic2_fixed(benchmark, adc_block):
+    cic = FixedCICDecimator(2, 16, input_width=12)
+    benchmark(cic.process, adc_block)
+
+
+def test_bench_polyphase_fir(benchmark, tone_block):
+    fir = PolyphaseDecimator(reference_fir_taps(), 8)
+    benchmark(fir.process, tone_block[: N // 336].astype(complex))
+
+
+def test_bench_full_ddc_gold(benchmark, tone_block):
+    ddc = DDC()
+    result = benchmark(ddc.process, tone_block)
+    assert len(result.baseband) >= 1
+
+
+def test_bench_full_ddc_fixed(benchmark, adc_block):
+    ddc = FixedDDC()
+    i, q = benchmark(ddc.process, adc_block)
+    assert len(i) >= 1

@@ -1,0 +1,83 @@
+"""Regeneration benches: one per paper table (Tables 1-7).
+
+Each bench times the full regeneration of a table from the models and
+asserts the published *shape* (ordering / ratios), so the benchmark suite
+doubles as the experiment harness: ``pytest benchmarks/ --benchmark-only``
+re-derives every published artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(table1)
+    assert [r[0] for r in result.rows] == [p[0] for p in result.published]
+    assert result.rows[1][2] == 16 and result.rows[2][2] == 21
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(table2)
+    assert result.rows[0][1] == "Up to 100 MSPS"
+    assert "115mW" in result.rows[-1][1]
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(lambda: table3(n_samples=2688))
+    pct = {row[0]: float(row[2].rstrip(" %")) for row in result.rows}
+    # Shape of Table 3: NCO and CIC2-integrating dominate, in that order.
+    assert pct["NCO"] > pct["CIC2-integrating"] > pct["CIC5-integrating"]
+    assert pct["NCO"] + pct["CIC2-integrating"] > 80
+    assert pct["CIC5-cascading"] < 0.5
+    assert pct["FIR125-poly-phase"] < 0.5
+
+
+def test_bench_table4(benchmark, published):
+    result = benchmark(table4)
+    for row in result.rows:
+        got_le = int(row[1].split("/")[0].strip().replace(",", ""))
+        want = published["table4_le"][row[0]]
+        assert abs(got_le - want) / want < 0.10
+
+
+def test_bench_table5(benchmark, published):
+    result = benchmark(table5)
+    totals = [float(v.split()[0]) for v in result.rows[0][1:]]
+    want = list(published["table5_total_mw"].values())
+    for got, pub in zip(totals, want):
+        assert got == pytest.approx(pub, rel=0.02)
+
+
+def test_bench_table6(benchmark):
+    result = benchmark(table6)
+    rows = {r[0]: (r[1], float(r[2].rstrip("%"))) for r in result.rows}
+    assert rows["NCO + CIC2 integrating"] == (3, 100.0)
+    assert rows["CIC5 integrating"][1] == pytest.approx(25.0)
+    assert rows["CIC2 cascading"][1] == pytest.approx(6.3, abs=0.2)
+
+
+def test_bench_table7(benchmark, published):
+    result = benchmark(table7)
+    scaled = {
+        r[0]: float(r[4].split()[0]) for r in result.rows
+    }
+    for arch, want in published["table7_scaled_mw"].items():
+        assert scaled[arch] == pytest.approx(want, rel=0.05)
+    # Ranking at 0.13 um: low-power ASIC < GC4016 < Montium < Cyclone II.
+    assert (
+        scaled["Customised Low Power DDC"]
+        < scaled["TI GC4016"]
+        < scaled["Montium TP"]
+        < scaled["Altera Cyclone II"]
+    )

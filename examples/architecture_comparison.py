@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline result: Table 7 + the Section 7 scenarios.
+
+Evaluates the reference DDC on all five architecture models, prints the
+energy comparison with technology scaling to 0.13 um, and answers the
+conclusion's two questions (static winner, reconfigurable winner) plus the
+duty-cycle crossover map that generalises them.
+
+Run:  python examples/architecture_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import REFERENCE_DDC
+from repro.core import DDCEvaluator
+from repro.paper import section7_scenarios
+
+
+def main() -> None:
+    evaluator = DDCEvaluator()
+    result = evaluator.evaluate(REFERENCE_DDC)
+    print(result.render())
+    print()
+    print(section7_scenarios(REFERENCE_DDC, evaluator).render())
+    print()
+    ranking = result.comparison.ranking()
+    print("Ranking at 0.13 um (lowest power first):")
+    for i, row in enumerate(ranking, 1):
+        rt = "" if row.feasible else "   [cannot sustain real time]"
+        print(f"  {i}. {row.architecture:26s} {row.power_scaled_mw:8.1f} mW{rt}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DRM receiver front end: channel selection out of a crowded band.
+
+The paper motivates the DDC with Digital Radio Mondiale reception on a
+multimedia device.  This example synthesises a shortwave-like spectrum with
+*three* DRM-like broadcasts plus an interfering carrier, tunes the DDC's
+NCO to each station in turn (the retuning the Montium mapping keeps an ALU
+free for), and verifies that the selected channel dominates the 24 kHz
+output while its neighbours are rejected.
+
+Run:  python examples/drm_receiver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DDC, REFERENCE_DDC, DDCConfig
+from repro.dsp.metrics import tone_power_db
+from repro.dsp.signals import drm_like_ofdm, tone, white_noise
+
+STATIONS_HZ = (6.10e6, 9.50e6, 15.20e6)   # shortwave-ish carriers
+INTERFERER_HZ = 9.70e6                     # strong adjacent carrier
+
+
+def build_band(n: int, fs: float, seed: int = 7) -> np.ndarray:
+    """Three DRM-like stations + a CW interferer + noise floor."""
+    rng = np.random.default_rng(seed)
+    band = white_noise(n, rms=0.01, seed=rng)
+    for i, carrier in enumerate(STATIONS_HZ):
+        band = band + drm_like_ofdm(
+            n, fs, carrier, rms=0.12 + 0.03 * i, seed=rng
+        )
+    band = band + tone(n, INTERFERER_HZ, fs, amplitude=0.3)
+    return band
+
+
+def main() -> None:
+    fs = REFERENCE_DDC.input_rate_hz
+    n = REFERENCE_DDC.total_decimation * 48
+    x = build_band(n, fs)
+    print(f"Band: {len(STATIONS_HZ)} DRM-like stations at "
+          f"{[f'{f/1e6:.2f} MHz' for f in STATIONS_HZ]}, interferer at "
+          f"{INTERFERER_HZ / 1e6:.2f} MHz")
+
+    powers = {}
+    for carrier in STATIONS_HZ:
+        cfg = DDCConfig(nco_frequency_hz=carrier)
+        ddc = DDC(cfg)
+        out = ddc.process(x).baseband[8:]
+        in_band = float(np.mean(np.abs(out) ** 2))
+        powers[carrier] = in_band
+        print(f"  tuned to {carrier / 1e6:5.2f} MHz: "
+              f"output power {10 * np.log10(in_band):6.1f} dBFS")
+
+    # Tune midway between stations: output should drop sharply.
+    dead_carrier = 12.0e6
+    ddc = DDC(DDCConfig(nco_frequency_hz=dead_carrier))
+    dead = float(np.mean(np.abs(ddc.process(x).baseband[8:]) ** 2))
+    print(f"  tuned to {dead_carrier / 1e6:5.2f} MHz (no station): "
+          f"{10 * np.log10(dead):6.1f} dBFS")
+
+    worst_station = min(powers.values())
+    rejection_db = 10 * np.log10(worst_station / dead)
+    print(f"\nChannel selectivity (weakest station vs empty channel): "
+          f"{rejection_db:.1f} dB")
+    assert rejection_db > 15, "DDC failed to select the DRM channels"
+    print("OK: the DDC selects each DRM channel and rejects empty spectrum.")
+
+
+if __name__ == "__main__":
+    main()

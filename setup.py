@@ -1,0 +1,10 @@
+"""Setup shim for environments whose pip lacks the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` which is
+unavailable offline here; this shim lets ``pip install -e . --no-use-pep517``
+(or ``python setup.py develop``) work with the metadata in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — reproduction of *An Optimal Architecture for a DDC* (IPPS 2006).
+
+The package is organised as:
+
+- :mod:`repro.dsp` — the DDC algorithm itself (NCO, mixer, CIC filters,
+  polyphase FIR), in gold floating-point and bit-true fixed-point forms;
+- :mod:`repro.fixedpoint` — two's-complement arithmetic substrate;
+- :mod:`repro.simkernel` — cycle-driven structural hardware simulator;
+- :mod:`repro.archs` — executable models of the paper's five target
+  architectures (two ASICs, ARM9 GPP, Cyclone FPGA, Montium TP);
+- :mod:`repro.energy` — technology scaling and the cross-architecture
+  energy comparison;
+- :mod:`repro.core` — the generalised "optimal architecture for a DDC"
+  planner/evaluator API;
+- :mod:`repro.paper` — regeneration of every table and figure in the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import DDC, REFERENCE_DDC
+    from repro.dsp import drm_like_ofdm
+
+    ddc = DDC()
+    x = drm_like_ofdm(2688 * 64, REFERENCE_DDC.input_rate_hz,
+                      carrier_hz=REFERENCE_DDC.nco_frequency_hz, seed=1)
+    out = ddc.process(x)
+    print(out.baseband.shape)  # 64 complex samples at 24 kHz
+"""
+
+from .config import (
+    DDCConfig,
+    REFERENCE_DDC,
+    GC4016_GSM_EXAMPLE,
+    INPUT_RATE_HZ,
+    OUTPUT_RATE_HZ,
+    TOTAL_DECIMATION,
+)
+from .errors import (
+    ReproError,
+    ConfigurationError,
+    FixedPointError,
+    SimulationError,
+    AssemblyError,
+    ExecutionError,
+    MappingError,
+)
+from .dsp.ddc import DDC, DDCResult, FixedDDC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDC",
+    "DDCResult",
+    "FixedDDC",
+    "DDCConfig",
+    "REFERENCE_DDC",
+    "GC4016_GSM_EXAMPLE",
+    "INPUT_RATE_HZ",
+    "OUTPUT_RATE_HZ",
+    "TOTAL_DECIMATION",
+    "ReproError",
+    "ConfigurationError",
+    "FixedPointError",
+    "SimulationError",
+    "AssemblyError",
+    "ExecutionError",
+    "MappingError",
+    "__version__",
+]

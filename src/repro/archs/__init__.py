@@ -1,0 +1,18 @@
+"""Executable models of the paper's five target architectures.
+
+- :mod:`repro.archs.asic` — the TI GC4016 quad-DDC chip and the customised
+  low-power DDC ASIC (Section 3);
+- :mod:`repro.archs.gpp` — the ARM922T general-purpose processor with an
+  instruction-level simulator and profiler (Section 4);
+- :mod:`repro.archs.fpga` — the Altera Cyclone I/II RTL implementation,
+  resource estimator and PowerPlay-style power model (Section 5);
+- :mod:`repro.archs.montium` — the Montium Tile Processor and the paper's
+  hand mapping of the DDC onto its five ALUs (Section 6).
+
+Every architecture exposes an :class:`~repro.archs.base.ArchitectureModel`
+implementation so :mod:`repro.energy.comparison` can build Table 7.
+"""
+
+from .base import ArchitectureModel, ImplementationReport
+
+__all__ = ["ArchitectureModel", "ImplementationReport"]

@@ -1,0 +1,25 @@
+"""ASIC models (paper Section 3).
+
+Two fixed-function chips:
+
+- :mod:`~repro.archs.asic.gc4016` — the Texas Instruments GC4016 multi-
+  standard quad DDC: a functional model of one channel (CIC5 + CFIR21 +
+  PFIR63), the datasheet configuration constraints of Table 2, and the
+  published GSM-example power point (115 mW at 80 MHz, 0.25 µm);
+- :mod:`~repro.archs.asic.lowpower` — the customised low-power DDC of
+  Section 3.2: a gate-count x activity power estimator over the reference
+  chain (27 mW at 64.512 MHz, 0.18 µm), the estimation method the paper
+  itself attributes to that design.
+"""
+
+from .gc4016 import GC4016Channel, GC4016Model, GC4016_SPEC
+from .lowpower import LowPowerDDCModel, LOWPOWER_SPEC, gate_count_estimate
+
+__all__ = [
+    "GC4016Channel",
+    "GC4016Model",
+    "GC4016_SPEC",
+    "LowPowerDDCModel",
+    "LOWPOWER_SPEC",
+    "gate_count_estimate",
+]

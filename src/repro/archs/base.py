@@ -1,0 +1,92 @@
+"""Common interface of the five architecture models.
+
+The paper compares architectures on *energy consumption, flexibility and
+performance* for one fixed task.  :class:`ArchitectureModel` captures the
+quantities every model must produce for the Table 7 comparison; the
+:class:`ImplementationReport` is the row each model contributes.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..config import DDCConfig
+from ..energy.technology import TechnologyNode
+
+
+class Flexibility(enum.IntEnum):
+    """Coarse flexibility ranking used in the scenario analysis (Section 7).
+
+    Higher = more able to be re-purposed when the DDC is idle.
+    """
+
+    FIXED_FUNCTION = 0       # ASIC: parameters only
+    RECONFIGURABLE = 1       # FPGA / coarse-grained reconfigurable
+    PROGRAMMABLE = 2         # GPP: arbitrary software
+
+
+@dataclass(frozen=True)
+class ImplementationReport:
+    """One architecture's realisation of a DDC configuration.
+
+    Attributes
+    ----------
+    architecture:
+        Display name as used in the paper's Table 7.
+    technology:
+        Native technology node of the published figure.
+    clock_hz:
+        Clock frequency required to sustain the DDC in real time.
+    power_w:
+        Power drawn at that clock in the native technology.
+    area_mm2:
+        Core area where the paper reports one (else ``None``).
+    flexibility:
+        Coarse reconfigurability class.
+    feasible:
+        Whether a single device can actually sustain real time (False for
+        the ARM, which would need a 9.74 GHz clock).
+    notes:
+        Free-form provenance notes (datasheet, estimation method...).
+    """
+
+    architecture: str
+    technology: TechnologyNode
+    clock_hz: float
+    power_w: float
+    area_mm2: float | None = None
+    flexibility: Flexibility = Flexibility.FIXED_FUNCTION
+    feasible: bool = True
+    notes: str = ""
+
+    @property
+    def power_mw(self) -> float:
+        """Power in milliwatts (the unit of Table 7)."""
+        return self.power_w * 1e3
+
+    @property
+    def energy_per_output_sample_j(self) -> float:
+        """Energy to produce one 24 kHz output sample (paper's implicit
+        figure of merit: power at fixed throughput)."""
+        return self.power_w / 24_000.0
+
+
+class ArchitectureModel(ABC):
+    """An executable architecture that can realise a DDC configuration."""
+
+    #: Display name used in tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def implement(self, config: DDCConfig) -> ImplementationReport:
+        """Realise ``config`` and report clock/power/area/feasibility."""
+
+    def supports(self, config: DDCConfig) -> bool:
+        """Whether the architecture can realise ``config`` at all.
+
+        Default: everything is supported; ASIC models override this with
+        their datasheet constraints.
+        """
+        return True

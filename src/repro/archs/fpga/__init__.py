@@ -1,0 +1,39 @@
+"""Altera Cyclone FPGA model (paper Section 5).
+
+The paper implements the DDC in VHDL for the two smallest Cyclone devices,
+synthesises it with Quartus II, and estimates power with PowerPlay.  The
+equivalents here:
+
+- :mod:`~repro.archs.fpga.devices` — the Cyclone I EP1C3T100C6 and
+  Cyclone II EP2C5T144C6 device catalog entries (Section 5.1);
+- :mod:`~repro.archs.fpga.rtl_nco` / :mod:`~repro.archs.fpga.rtl_cic` /
+  :mod:`~repro.archs.fpga.rtl_fir` — cycle-accurate RTL components on the
+  :mod:`repro.simkernel` (12-bit buses, output-valid handshakes, the
+  sequential 125-cycle polyphase FIR of Fig. 5);
+- :mod:`~repro.archs.fpga.rtl_ddc` — the full-DDC top level, verified
+  bit-for-bit against :class:`repro.dsp.ddc.FixedDDC`;
+- :mod:`~repro.archs.fpga.resources` — the LE / memory-bit / multiplier
+  estimator regenerating Table 4;
+- :mod:`~repro.archs.fpga.power` — the PowerPlay-style static +
+  toggle-linear dynamic power model fitted to the published calibration
+  points (Table 5 and the 57.98 mW Cyclone II figure);
+- :mod:`~repro.archs.fpga.model` — the :class:`ArchitectureModel` facade.
+"""
+
+from .devices import CYCLONE_I_EP1C3, CYCLONE_II_EP2C5, FPGADevice
+from .resources import ResourceUsage, estimate_ddc_resources
+from .power import FPGAPowerModel, PowerBreakdown
+from .rtl_ddc import RTLDDC
+from .model import CycloneModel
+
+__all__ = [
+    "FPGADevice",
+    "CYCLONE_I_EP1C3",
+    "CYCLONE_II_EP2C5",
+    "ResourceUsage",
+    "estimate_ddc_resources",
+    "FPGAPowerModel",
+    "PowerBreakdown",
+    "RTLDDC",
+    "CycloneModel",
+]

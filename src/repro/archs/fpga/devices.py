@@ -1,0 +1,100 @@
+"""Cyclone device catalog (paper Section 5.1, Tables 4 and 5).
+
+Only the quantities the paper uses are modelled: logic element count, M4K
+RAM blocks (512 bytes each), user pins, embedded 9-bit multipliers, PLLs,
+technology node, and the achieved f_max of the DDC design on each device
+(66.08 MHz on the Cyclone I, 80.87 MHz on the Cyclone II).
+
+Power-model calibration constants live here too because they are device
+properties: the static power and the PowerPlay dynamic decomposition fitted
+to the published points (see :mod:`repro.archs.fpga.power`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...energy.technology import TECH_90NM, TECH_130NM, TechnologyNode
+from ...errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """One FPGA device entry.
+
+    Attributes mirror the figures quoted in Section 5.1 / Table 4, plus
+    fitted power constants (see :class:`repro.archs.fpga.power.FPGAPowerModel`):
+
+    - ``static_power_w``: leakage, toggle independent;
+    - ``clock_io_power_w``: dynamic intercept at the DDC's 64.512 MHz run
+      (clock tree + 50 %-toggling I/O), scaled linearly with frequency;
+    - ``logic_power_w_per_le_hz_toggle``: dynamic logic energy constant
+      ``k`` such that P_logic = k * LEs * f * toggle_rate.
+    """
+
+    name: str
+    family: str
+    technology: TechnologyNode
+    logic_elements: int
+    m4k_blocks: int
+    user_pins: int
+    multipliers_9bit: int
+    plls: int
+    fmax_ddc_hz: float
+    static_power_w: float
+    clock_io_power_w: float
+    logic_power_w_per_le_hz_toggle: float
+    calibration_frequency_hz: float = 64_512_000.0
+
+    def __post_init__(self) -> None:
+        if self.logic_elements <= 0 or self.m4k_blocks < 0:
+            raise ConfigurationError("invalid device resource counts")
+
+    @property
+    def memory_bits(self) -> int:
+        """Total block-RAM bits: each M4K block stores 512 bytes of data
+        (per the paper: "Each RAM block provides a storage space of 512
+        bytes") plus parity, giving the datasheet 4608 bits; the paper's
+        Table 4 denominators (59,904 / 119,808) are block count x 4608."""
+        return self.m4k_blocks * 4608
+
+
+#: Altera Cyclone I EP1C3T100C6 — smallest Cyclone I (Section 5.2).
+#: Power constants fitted to Table 5: static 48.0 mW; dynamic
+#: 52.4 mW intercept + 409.6 mW/toggle slope at 64.512 MHz (the published
+#: sweep 72.9/93.4/257.2/410.8 mW at 5/10/50/87.5 % is linear to <0.5 mW).
+CYCLONE_I_EP1C3 = FPGADevice(
+    name="EP1C3T100C6",
+    family="Cyclone I",
+    technology=TECH_130NM,
+    logic_elements=2910,
+    m4k_blocks=13,
+    user_pins=65,
+    multipliers_9bit=0,
+    plls=1,
+    fmax_ddc_hz=66_080_000.0,
+    static_power_w=0.0480,
+    clock_io_power_w=0.0524,
+    logic_power_w_per_le_hz_toggle=0.4096 / (1656 * 64_512_000.0),
+)
+
+#: Altera Cyclone II EP2C5T144C6 — smallest Cyclone II.
+#: Static 26.86 mW (published); logic constant scaled from the Cyclone I fit
+#: by the 0.09/0.13 capacitance ratio (same 1.2 V supply as the reference
+#: node in the paper's rule); the clock/IO intercept is then fixed by the
+#: published 31.11 mW dynamic at 10 % internal toggle and 906 LEs.
+CYCLONE_II_EP2C5 = FPGADevice(
+    name="EP2C5T144C6",
+    family="Cyclone II",
+    technology=TECH_90NM,
+    logic_elements=4608,
+    m4k_blocks=26,
+    user_pins=89,
+    multipliers_9bit=26,
+    plls=2,
+    fmax_ddc_hz=80_870_000.0,
+    static_power_w=0.02686,
+    clock_io_power_w=0.03111
+    - (0.4096 / (1656 * 64_512_000.0)) * (0.09 / 0.13) * 906 * 64_512_000.0 * 0.10,
+    logic_power_w_per_le_hz_toggle=(0.4096 / (1656 * 64_512_000.0)) * (0.09 / 0.13),
+)

@@ -1,0 +1,74 @@
+"""FPGA architecture facade for the Table 7 comparison.
+
+Combines the resource estimator and the power model into an
+:class:`~repro.archs.base.ArchitectureModel`: estimate utilisation, check
+the design fits and meets timing (f_max from Section 5.2.1), and report
+power at the paper's assumed 10 % internal toggle rate.
+"""
+
+from __future__ import annotations
+
+from ...config import DDCConfig, REFERENCE_DDC
+from ...errors import MappingError
+from ..base import ArchitectureModel, Flexibility, ImplementationReport
+from .devices import CYCLONE_I_EP1C3, CYCLONE_II_EP2C5, FPGADevice
+from .power import FPGAPowerModel
+from .resources import estimate_ddc_resources, require_fit
+
+
+class CycloneModel(ArchitectureModel):
+    """Altera Cyclone I/II implementation of the DDC."""
+
+    def __init__(
+        self,
+        device: FPGADevice = CYCLONE_II_EP2C5,
+        internal_toggle: float = 0.10,
+        input_toggle: float = 0.50,
+    ) -> None:
+        self.device = device
+        self.internal_toggle = internal_toggle
+        self.input_toggle = input_toggle
+        self.power_model = FPGAPowerModel(device)
+        self.name = f"Altera {device.family} {device.name}"
+
+    def supports(self, config: DDCConfig) -> bool:
+        """Fit + timing check."""
+        try:
+            usage = estimate_ddc_resources(self.device, config)
+            require_fit(usage, self.device)
+        except MappingError:
+            return False
+        return config.input_rate_hz <= self.device.fmax_ddc_hz
+
+    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
+        usage = estimate_ddc_resources(self.device, config)
+        require_fit(usage, self.device)
+        clock_hz = config.input_rate_hz
+        feasible = clock_hz <= self.device.fmax_ddc_hz
+        power = self.power_model.estimate(
+            usage, clock_hz, self.internal_toggle, self.input_toggle
+        )
+        return ImplementationReport(
+            architecture=f"Altera {self.device.family}",
+            technology=self.device.technology,
+            clock_hz=clock_hz,
+            power_w=power.total_w,
+            area_mm2=None,
+            flexibility=Flexibility.RECONFIGURABLE,
+            feasible=feasible,
+            notes=(
+                f"{usage.logic_elements} LEs, {usage.memory_bits} memory "
+                f"bits, {usage.multipliers_9bit} embedded 9-bit multipliers; "
+                f"{self.internal_toggle:.0%} internal / "
+                f"{self.input_toggle:.0%} input toggle assumed"
+            ),
+        )
+
+    def dynamic_power_w(self, config: DDCConfig = REFERENCE_DDC) -> float:
+        """Dynamic-only power (the component the paper scales for the
+        Cyclone II 0.13 um estimate in Table 7)."""
+        usage = estimate_ddc_resources(self.device, config)
+        power = self.power_model.estimate(
+            usage, config.input_rate_hz, self.internal_toggle, self.input_toggle
+        )
+        return power.dynamic_w

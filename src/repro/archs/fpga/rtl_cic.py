@@ -1,0 +1,104 @@
+"""RTL CIC decimator (integrator chain + decimating comb chain).
+
+Section 5.2.1: "The integrating part of the CIC filter has a counter to
+register the number of processed inputs.  If this part should deliver a
+value to the comb part, it makes its output valid signal high for one clock
+cycle.  The comb component reads the signal and processes it.  This way the
+comb part of the CIC filters receives decimated information."
+
+One :class:`RTLCIC` component owns both parts for one rail.  Arithmetic is
+identical to :class:`repro.dsp.cic.FixedCICDecimator`: wrapping integrators
+at the Hogenauer width, comb subtractions at the same width, and output
+truncation back to the 12-bit bus.  The integrator registers and the comb
+output are exposed on probe wires so toggle activity is observable.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...fixedpoint import QFormat, cic_bit_growth
+from ...simkernel import Component, Wire
+
+
+class RTLCIC(Component):
+    """Bit-true decimating CIC for one data rail.
+
+    Ports
+    -----
+    in: ``x`` (data_width), ``x_valid`` (1)
+    out: ``y`` (out_width), ``y_valid`` (1)
+    probe out: ``int_top`` (internal width) — last integrator register;
+    ``comb_out`` (internal width) — pre-truncation comb result.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        x: Wire,
+        x_valid: Wire,
+        y: Wire,
+        y_valid: Wire,
+        int_probe: Wire,
+        comb_probe: Wire,
+        order: int,
+        decimation: int,
+        data_width: int = 12,
+    ) -> None:
+        super().__init__(name)
+        if order < 1 or decimation < 1:
+            raise ConfigurationError("order and decimation must be >= 1")
+        self.add_input("x", x)
+        self.add_input("x_valid", x_valid)
+        self.add_output("y", y)
+        self.add_output("y_valid", y_valid)
+        self.add_output("int_top", int_probe)
+        self.add_output("comb_out", comb_probe)
+        self.order = order
+        self.decimation = decimation
+        self.data_width = data_width
+        growth = cic_bit_growth(order, decimation)
+        self.internal_width = data_width + growth
+        if self.internal_width > 62:
+            raise ConfigurationError("CIC internal width exceeds int64 range")
+        self.truncation_shift = growth
+        self._mask = (1 << self.internal_width) - 1
+        self._half = 1 << (self.internal_width - 1)
+        self._out_fmt = QFormat(data_width, 0)
+        self.reset()
+
+    def reset(self) -> None:
+        self._int = [0] * self.order
+        self._comb_delay = [0] * self.order
+        self._count = 0
+
+    def _wrap(self, v: int) -> int:
+        v &= self._mask
+        return v - (1 << self.internal_width) if v >= self._half else v
+
+    def tick(self, cycle: int) -> None:
+        if not self.read("x_valid"):
+            self.write("y_valid", 0)
+            return
+        x = self.read("x")
+        # Integrator cascade (wrapping adds).
+        acc = x
+        for s in range(self.order):
+            self._int[s] = self._wrap(self._int[s] + acc)
+            acc = self._int[s]
+        self.write("int_top", self._int[-1])
+
+        emit = self._count == 0
+        self._count = (self._count + 1) % self.decimation
+        if not emit:
+            self.write("y_valid", 0)
+            return
+        # Comb cascade at the decimated rate.
+        v = self._int[-1]
+        for s in range(self.order):
+            prev = self._comb_delay[s]
+            self._comb_delay[s] = v
+            v = self._wrap(v - prev)
+        self.write("comb_out", v)
+        y = v >> self.truncation_shift
+        self.write("y", y)
+        self.write("y_valid", 1)

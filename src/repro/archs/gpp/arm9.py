@@ -1,0 +1,88 @@
+"""ARM922T device model and the GPP energy arithmetic of Section 4.2.2.
+
+The paper's chain of reasoning:
+
+1. profile the in-phase DDC -> 4.870e9 cycles/s at the 64.512 MHz input;
+2. double for the quadrature rail -> a 9740 MHz clock requirement;
+3. the ARM922T core + caches draw 0.25 mW/MHz, so the (hypothetical)
+   real-time DDC costs 9740 * 0.25 = 2435 mW;
+4. note that one ARM9 (<= 250 MHz) cannot actually sustain the task.
+
+:class:`ARM9Model` reproduces those steps on top of our own profiler run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import DDCConfig, REFERENCE_DDC
+from ..base import ArchitectureModel, Flexibility, ImplementationReport
+from ...energy.technology import TECH_130NM, TechnologyNode
+from .profiler import RegionProfile, profile_ddc
+
+
+@dataclass(frozen=True)
+class ARM9Spec:
+    """Datasheet constants of the ARM922T as quoted in Section 4.1/4.2.2."""
+
+    name: str = "ARM922T"
+    technology: TechnologyNode = TECH_130NM
+    max_clock_hz: float = 250e6          # "can perform up to 250 MIPS"
+    power_mw_per_mhz: float = 0.25       # core + caches, memory excluded
+    cache_kb: int = 8                    # two small caches of 8 KB
+    area_mm2: float = 3.2                # Table 7
+
+
+#: The device the paper uses.
+ARM922T = ARM9Spec()
+
+
+class ARM9Model(ArchitectureModel):
+    """GPP architecture model: profile-driven clock and power estimation."""
+
+    name = "ARM922T"
+
+    def __init__(
+        self,
+        spec: ARM9Spec = ARM922T,
+        spill_slots: bool = True,
+        n_samples: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.spill_slots = spill_slots
+        self.n_samples = n_samples
+        self._last_profile: RegionProfile | None = None
+
+    def profile(self, config: DDCConfig = REFERENCE_DDC) -> RegionProfile:
+        """Run (and cache) the instruction-level profile for ``config``."""
+        prof = profile_ddc(
+            config, n_samples=self.n_samples, spill_slots=self.spill_slots
+        )
+        self._last_profile = prof
+        return prof
+
+    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
+        """Section 4.2's arithmetic on our own profiled cycle counts."""
+        prof = self.profile(config)
+        required_hz = prof.required_clock_hz
+        power_w = required_hz / 1e6 * self.spec.power_mw_per_mhz * 1e-3
+        feasible = required_hz <= self.spec.max_clock_hz
+        return ImplementationReport(
+            architecture=self.spec.name,
+            technology=self.spec.technology,
+            clock_hz=required_hz,
+            power_w=power_w,
+            area_mm2=self.spec.area_mm2,
+            flexibility=Flexibility.PROGRAMMABLE,
+            feasible=feasible,
+            notes=(
+                f"{prof.instructions_per_second / 1e6:.0f} MIPS, "
+                f"{prof.cycles_per_second / 1e9:.3f} Gcycles/s for the I rail; "
+                "x2 for I+Q; 0.25 mW/MHz core+caches, memory access excluded"
+            ),
+        )
+
+    def speedup_needed(self, config: DDCConfig = REFERENCE_DDC) -> float:
+        """How many ARM9s-worth of clock the task needs (paper: ~39x)."""
+        prof = self._last_profile or self.profile(config)
+        return prof.required_clock_hz / self.spec.max_clock_hz

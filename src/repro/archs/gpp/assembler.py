@@ -1,0 +1,206 @@
+"""Two-pass assembler for the ARM-like ISA.
+
+Syntax (one instruction per line, ``;`` or ``@`` comments)::
+
+    .region nco            ; start a named profiling region
+    loop:                  ; label
+        ldr   r1, [r9, r2] ; load, register offset
+        ldr   r0, [r8], #1 ; load, post-increment base by 1 word
+        mul   r3, r0, r1
+        asr   r3, r3, #11
+        add   r4, r4, r3
+        subs  r6, r6, #1
+        bne   loop
+        halt
+
+Memory is *word addressed* (one 64-bit slot per address) — byte lanes add
+nothing to the cycle/energy analysis the model exists for.
+
+``.region NAME`` directives attribute all following instructions (until the
+next ``.region``) to a profiling region; the profiler uses this to build
+the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ...errors import AssemblyError
+from .isa import BRANCHES, Instruction, Mnemonic, Operand
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_REG_RE = re.compile(r"^[rR](\d{1,2})$")
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions + symbols + region map."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int]
+    #: region name per instruction index
+    regions: list[str]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def region_of(self, pc: int) -> str:
+        """Profiling region owning instruction ``pc``."""
+        if not 0 <= pc < len(self.regions):
+            raise AssemblyError(f"pc {pc} outside program")
+        return self.regions[pc]
+
+
+def _parse_reg(tok: str) -> int:
+    m = _REG_RE.match(tok)
+    if not m:
+        raise AssemblyError(f"expected register, got {tok!r}")
+    n = int(m.group(1))
+    if n > 15:
+        raise AssemblyError(f"register r{n} out of range")
+    return n
+
+
+def _parse_operand(tok: str) -> Operand:
+    tok = tok.strip()
+    if tok.startswith("#"):
+        try:
+            return Operand.imm(int(tok[1:], 0))
+        except ValueError:
+            raise AssemblyError(f"bad immediate {tok!r}") from None
+    return Operand.reg(_parse_reg(tok))
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split an operand field on commas not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    cur = ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts
+
+
+def _parse_mem(ops: list[str]) -> tuple[int, Operand, bool]:
+    """Parse the address part of LDR/STR: returns (base, offset, post_inc).
+
+    Accepted forms: ``[rn]``, ``[rn, #imm]``, ``[rn, rm]``, ``[rn], #imm``
+    (post-increment).
+    """
+    joined = ", ".join(ops)
+    m = re.match(r"^\[([^\]]+)\]\s*(?:,\s*(.+))?$", joined)
+    if not m:
+        raise AssemblyError(f"bad memory operand {joined!r}")
+    inside = [t.strip() for t in m.group(1).split(",")]
+    post = m.group(2)
+    base = _parse_reg(inside[0])
+    if post is not None:
+        if len(inside) != 1:
+            raise AssemblyError(f"bad post-increment form {joined!r}")
+        return base, _parse_operand(post.strip()), True
+    if len(inside) == 1:
+        return base, Operand.imm(0), False
+    if len(inside) == 2:
+        return base, _parse_operand(inside[1]), False
+    raise AssemblyError(f"bad memory operand {joined!r}")
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    lines = source.splitlines()
+    # pass 1: collect labels and raw statements
+    statements: list[tuple[str, str, str]] = []  # (mnemonic, rest, region)
+    labels: dict[str, int] = {}
+    region = "default"
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.split(";")[0].split("@")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".region"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblyError(f"line {lineno}: bad .region directive")
+            region = parts[1]
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(statements)
+            line = line.strip()
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        statements.append((mnemonic.strip().lower(), rest.strip(), region))
+
+    # pass 2: encode
+    instructions: list[Instruction] = []
+    regions: list[str] = []
+    for idx, (mn_txt, rest, reg_name) in enumerate(statements):
+        try:
+            mn = Mnemonic(mn_txt)
+        except ValueError:
+            raise AssemblyError(f"unknown mnemonic {mn_txt!r}") from None
+        ops = _split_operands(rest) if rest else []
+        instr = _encode(mn, ops, labels, idx)
+        instructions.append(instr)
+        regions.append(reg_name)
+    return Program(instructions, labels, regions)
+
+
+def _encode(
+    mn: Mnemonic, ops: list[str], labels: dict[str, int], idx: int
+) -> Instruction:
+    if mn in (Mnemonic.NOP, Mnemonic.HALT):
+        if ops:
+            raise AssemblyError(f"{mn.value} takes no operands")
+        return Instruction(mn)
+    if mn in BRANCHES:
+        if len(ops) != 1:
+            raise AssemblyError(f"{mn.value} takes one label")
+        label = ops[0]
+        if label not in labels:
+            raise AssemblyError(f"undefined label {label!r}")
+        return Instruction(mn, target=labels[label], label=label)
+    if mn is Mnemonic.CMP:
+        if len(ops) != 2:
+            raise AssemblyError("cmp takes rn, op2")
+        return Instruction(mn, rn=_parse_reg(ops[0]), op2=_parse_operand(ops[1]))
+    if mn in (Mnemonic.MOV, Mnemonic.MVN):
+        if len(ops) != 2:
+            raise AssemblyError(f"{mn.value} takes rd, op2")
+        return Instruction(mn, rd=_parse_reg(ops[0]), op2=_parse_operand(ops[1]))
+    if mn in (Mnemonic.LDR, Mnemonic.STR):
+        if len(ops) < 2:
+            raise AssemblyError(f"{mn.value} takes rd, [address]")
+        rd = _parse_reg(ops[0])
+        base, offset, post = _parse_mem(ops[1:])
+        return Instruction(mn, rd=rd, rn=base, op2=offset, post_inc=post)
+    if mn is Mnemonic.MLA:
+        if len(ops) != 4:
+            raise AssemblyError("mla takes rd, rn, rm, ra")
+        return Instruction(
+            mn, rd=_parse_reg(ops[0]), rn=_parse_reg(ops[1]),
+            op2=Operand.reg(_parse_reg(ops[2])), ra=_parse_reg(ops[3]),
+        )
+    # three-operand data processing and MUL
+    if len(ops) != 3:
+        raise AssemblyError(f"{mn.value} takes rd, rn, op2")
+    return Instruction(
+        mn, rd=_parse_reg(ops[0]), rn=_parse_reg(ops[1]),
+        op2=_parse_operand(ops[2]),
+    )

@@ -1,0 +1,181 @@
+"""Instruction-level CPU simulator with cycle accounting.
+
+Plays the role of the paper's "ARM source-level debugger" run: executes an
+assembled :class:`~repro.archs.gpp.assembler.Program` and counts, per
+profiling region, how many instructions and cycles were spent — the raw
+material of Table 3 and the 2865 MIPS / 4.87 Gcycles/s numbers of
+Section 4.2.1.
+
+The machine is a flat register file (r0..r15), N/Z flags, and a
+word-addressed memory (Python dict, zero-default).  Arithmetic is 32-bit
+two's-complement like the ARM.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ...errors import ExecutionError
+from .assembler import Program
+from .isa import BRANCHES, CYCLES, FLAG_SETTERS, Instruction, Mnemonic
+
+_WORD_MASK = (1 << 32) - 1
+_SIGN_BIT = 1 << 31
+
+
+def _to_signed(v: int) -> int:
+    v &= _WORD_MASK
+    return v - (1 << 32) if v & _SIGN_BIT else v
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated by a run."""
+
+    instructions: int = 0
+    cycles: int = 0
+    region_instructions: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    region_cycles: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def cycles_fraction(self, region: str) -> float:
+        """Fraction of all cycles spent in ``region``."""
+        if self.cycles == 0:
+            return 0.0
+        return self.region_cycles.get(region, 0) / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction of the run."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+
+class CPU:
+    """Executes programs; memory is word-addressed and sparse."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.regs = [0] * 16
+        self.flag_n = False
+        self.flag_z = False
+        self.memory: dict[int, int] = {}
+        self.pc = 0
+        self.halted = False
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------- memory
+    def load_memory(self, base: int, values: list[int]) -> None:
+        """Bulk-initialise memory at ``base``."""
+        for i, v in enumerate(values):
+            self.memory[base + i] = _to_signed(int(v))
+
+    def read_memory(self, addr: int) -> int:
+        """Read one word (0 if never written)."""
+        return self.memory.get(int(addr), 0)
+
+    # ------------------------------------------------------------ operands
+    def _op2(self, instr: Instruction) -> int:
+        return self.regs[instr.op2.value] if instr.op2.is_reg else instr.op2.value
+
+    def _set_flags(self, result: int) -> None:
+        self.flag_z = result == 0
+        self.flag_n = result < 0
+
+    # ------------------------------------------------------------- running
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise ExecutionError("CPU is halted")
+        if not 0 <= self.pc < len(self.program):
+            raise ExecutionError(f"pc {self.pc} outside program")
+        instr = self.program.instructions[self.pc]
+        region = self.program.region_of(self.pc)
+        taken = False
+        next_pc = self.pc + 1
+        m = instr.mnemonic
+
+        if m in BRANCHES:
+            taken = BRANCHES[m](self.flag_n, self.flag_z)
+            if taken:
+                next_pc = instr.target
+        elif m is Mnemonic.HALT:
+            self.halted = True
+        elif m is Mnemonic.NOP:
+            pass
+        elif m is Mnemonic.CMP:
+            self._set_flags(_to_signed(self.regs[instr.rn] - self._op2(instr)))
+        elif m in (Mnemonic.MOV, Mnemonic.MVN):
+            v = self._op2(instr)
+            self.regs[instr.rd] = _to_signed(~v if m is Mnemonic.MVN else v)
+        elif m is Mnemonic.MUL:
+            self.regs[instr.rd] = _to_signed(self.regs[instr.rn] * self._op2(instr))
+        elif m is Mnemonic.MLA:
+            self.regs[instr.rd] = _to_signed(
+                self.regs[instr.rn] * self._op2(instr) + self.regs[instr.ra]
+            )
+        elif m is Mnemonic.LDR:
+            addr = self.regs[instr.rn] + (0 if instr.post_inc else self._op2(instr))
+            self.regs[instr.rd] = self.read_memory(addr)
+            if instr.post_inc:
+                self.regs[instr.rn] = _to_signed(
+                    self.regs[instr.rn] + self._op2(instr)
+                )
+        elif m is Mnemonic.STR:
+            addr = self.regs[instr.rn] + (0 if instr.post_inc else self._op2(instr))
+            self.memory[int(addr)] = self.regs[instr.rd]
+            if instr.post_inc:
+                self.regs[instr.rn] = _to_signed(
+                    self.regs[instr.rn] + self._op2(instr)
+                )
+        else:
+            a = self.regs[instr.rn]
+            b = self._op2(instr)
+            if m in (Mnemonic.ADD, Mnemonic.ADDS):
+                r = a + b
+            elif m in (Mnemonic.SUB, Mnemonic.SUBS):
+                r = a - b
+            elif m is Mnemonic.RSB:
+                r = b - a
+            elif m is Mnemonic.AND:
+                r = (a & _WORD_MASK) & (b & _WORD_MASK)
+            elif m is Mnemonic.ORR:
+                r = (a & _WORD_MASK) | (b & _WORD_MASK)
+            elif m is Mnemonic.EOR:
+                r = (a & _WORD_MASK) ^ (b & _WORD_MASK)
+            elif m is Mnemonic.LSL:
+                r = (a & _WORD_MASK) << (b & 31)
+            elif m is Mnemonic.LSR:
+                r = (a & _WORD_MASK) >> (b & 31)
+            elif m is Mnemonic.ASR:
+                r = a >> (b & 31)
+            else:  # pragma: no cover - exhaustive over Mnemonic
+                raise ExecutionError(f"unhandled mnemonic {m}")
+            r = _to_signed(r)
+            self.regs[instr.rd] = r
+            if m in FLAG_SETTERS:
+                self._set_flags(r)
+
+        cost = CYCLES[instr.cost_class(taken)]
+        self.stats.instructions += 1
+        self.stats.cycles += cost
+        self.stats.region_instructions[region] += 1
+        self.stats.region_cycles[region] += cost
+        self.pc = next_pc
+
+    def run(self, max_instructions: int = 50_000_000) -> ExecutionStats:
+        """Run until HALT; returns the statistics."""
+        executed = 0
+        while not self.halted:
+            if executed >= max_instructions:
+                raise ExecutionError(
+                    f"exceeded {max_instructions} instructions without HALT"
+                )
+            self.step()
+            executed += 1
+        return self.stats

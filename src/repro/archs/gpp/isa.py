@@ -1,0 +1,165 @@
+"""ARM-like RISC instruction set with ARM9-style cycle costs.
+
+The set covers what a C compiler emits for the DDC inner loops: data
+processing, multiply / multiply-accumulate, loads/stores with immediate or
+register offset and optional post-increment, compares and conditional
+branches.
+
+Cycle costs follow the ARM9TDMI integer pipeline to first order:
+
+====================  ======
+class                 cycles
+====================  ======
+data processing       1
+MUL                   3
+MLA                   4
+LDR                   2   (1 issue + 1 load-use slot, the common case in
+                           tight DSP loops where the value is used next)
+STR                   2
+branch taken          3   (pipeline refill)
+branch not taken      1
+====================  ======
+
+These constants give a CPI of ~1.7 on the generated DDC code, matching the
+ratio implied by the paper's measurements (4870 Mcycles/s over 2865 MIPS
+= 1.70 cycles per instruction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ...errors import AssemblyError
+
+#: Number of general-purpose registers (r0..r15; r15 is the PC by
+#: convention but this ISA keeps the PC separate and treats r15 as GP).
+NUM_REGISTERS = 16
+
+
+class Register(enum.IntEnum):
+    """Register names r0..r15."""
+
+    R0 = 0; R1 = 1; R2 = 2; R3 = 3; R4 = 4; R5 = 5; R6 = 6; R7 = 7
+    R8 = 8; R9 = 9; R10 = 10; R11 = 11; R12 = 12; R13 = 13; R14 = 14
+    R15 = 15
+
+
+class Mnemonic(enum.Enum):
+    """Supported instruction mnemonics."""
+
+    # data processing: rd <- op(rn, operand2)
+    MOV = "mov"; MVN = "mvn"
+    ADD = "add"; ADDS = "adds"; SUB = "sub"; SUBS = "subs"; RSB = "rsb"
+    AND = "and"; ORR = "orr"; EOR = "eor"
+    LSL = "lsl"; LSR = "lsr"; ASR = "asr"
+    # multiply
+    MUL = "mul"; MLA = "mla"
+    # memory (word addressed)
+    LDR = "ldr"; STR = "str"
+    # compare / branch
+    CMP = "cmp"
+    B = "b"; BEQ = "beq"; BNE = "bne"
+    BGT = "bgt"; BLT = "blt"; BGE = "bge"; BLE = "ble"
+    # misc
+    NOP = "nop"; HALT = "halt"
+
+
+#: Mnemonics that write flags.
+FLAG_SETTERS = {Mnemonic.CMP, Mnemonic.ADDS, Mnemonic.SUBS}
+
+#: Conditional branches and their predicate over (N, Z) flags.
+BRANCHES = {
+    Mnemonic.B: lambda n, z: True,
+    Mnemonic.BEQ: lambda n, z: z,
+    Mnemonic.BNE: lambda n, z: not z,
+    Mnemonic.BGT: lambda n, z: (not z) and (not n),
+    Mnemonic.BLT: lambda n, z: n,
+    Mnemonic.BGE: lambda n, z: not n,
+    Mnemonic.BLE: lambda n, z: z or n,
+}
+
+#: Per-class base cycle costs (see module docstring).
+CYCLES = {
+    "data": 1,
+    "mul": 3,
+    "mla": 4,
+    "ldr": 2,
+    "str": 2,
+    "branch_taken": 3,
+    "branch_not_taken": 1,
+    "nop": 1,
+    "halt": 1,
+}
+
+
+@dataclass(frozen=True)
+class Operand:
+    """Either a register or an immediate.
+
+    ``Operand.reg(n)`` / ``Operand.imm(v)`` are the constructors the
+    assembler and codegen use.
+    """
+
+    is_reg: bool
+    value: int
+
+    @classmethod
+    def reg(cls, n: int | Register) -> "Operand":
+        n = int(n)
+        if not 0 <= n < NUM_REGISTERS:
+            raise AssemblyError(f"register r{n} out of range")
+        return cls(True, n)
+
+    @classmethod
+    def imm(cls, v: int) -> "Operand":
+        return cls(False, int(v))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{self.value}" if self.is_reg else f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields are interpreted per-mnemonic:
+
+    - data processing: ``rd``, ``rn`` (first source; for MOV/MVN unused),
+      ``op2`` (second source);
+    - MUL: ``rd = rn * op2``; MLA: ``rd = rn * op2 + ra``;
+    - LDR/STR: ``rd`` is data, ``rn`` base register, ``op2`` offset
+      (register or immediate), ``post_inc`` adds the offset to the base
+      *after* the access (C pointer walk ``*p++``);
+    - branches: ``target`` is an absolute instruction index (filled in by
+      the assembler from a label);
+    - CMP: ``rn`` vs ``op2``.
+    """
+
+    mnemonic: Mnemonic
+    rd: int = 0
+    rn: int = 0
+    op2: Operand = field(default_factory=lambda: Operand.imm(0))
+    ra: int = 0
+    target: int = 0
+    post_inc: bool = False
+    label: str | None = None  # source label, for diagnostics
+
+    def cost_class(self, taken: bool = False) -> str:
+        """Cycle-cost class of this instruction."""
+        m = self.mnemonic
+        if m in BRANCHES:
+            return "branch_taken" if taken else "branch_not_taken"
+        if m is Mnemonic.MUL:
+            return "mul"
+        if m is Mnemonic.MLA:
+            return "mla"
+        if m is Mnemonic.LDR:
+            return "ldr"
+        if m is Mnemonic.STR:
+            return "str"
+        if m is Mnemonic.NOP:
+            return "nop"
+        if m is Mnemonic.HALT:
+            return "halt"
+        return "data"

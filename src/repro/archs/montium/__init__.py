@@ -1,0 +1,50 @@
+"""Montium Tile Processor model (paper Section 6).
+
+The Montium TP is a coarse-grained reconfigurable tile: a sequencer drives
+five two-level ALUs, each with two local memories and input register files,
+over a configurable interconnect (Fig. 6/7).  The paper hand-maps the DDC
+onto it: three ALUs run the NCO + CIC2 integrators at the full 64.512 MHz
+sample rate, while the remaining two are time-multiplexed over the CIC2
+comb, the CIC5 and the polyphase FIR (Table 6, Fig. 9).
+
+Modules:
+
+- :mod:`~repro.archs.montium.alu` — the two-level ALU (Fig. 7), executed
+  functionally with 16/17-bit fixed-point semantics;
+- :mod:`~repro.archs.montium.memory` — local memories and register files;
+- :mod:`~repro.archs.montium.program` — per-cycle operation schedule
+  representation + configuration-size estimate (the paper's 1110 bytes);
+- :mod:`~repro.archs.montium.tile` — the 5-ALU tile executing a program;
+- :mod:`~repro.archs.montium.ddc_mapping` — the paper's DDC schedule
+  generator (Fig. 8's ALU configuration, Table 6's occupancy);
+- :mod:`~repro.archs.montium.schedule` — occupancy analysis (Table 6) and
+  the Fig. 9 Gantt rendering;
+- :mod:`~repro.archs.montium.model` — 0.6 mW/MHz power model and the
+  :class:`ArchitectureModel` facade.
+"""
+
+from .alu import ALUOp, MontiumALU
+from .memory import LocalMemory, RegisterFile
+from .program import CycleOps, TileProgram, estimate_config_bytes
+from .tile import MontiumTile
+from .ddc_mapping import build_ddc_schedule, DDCMappingResult, run_ddc_on_tile
+from .schedule import OccupancyReport, render_figure9
+from .model import MontiumModel, MONTIUM_SPEC
+
+__all__ = [
+    "ALUOp",
+    "MontiumALU",
+    "LocalMemory",
+    "RegisterFile",
+    "CycleOps",
+    "TileProgram",
+    "estimate_config_bytes",
+    "MontiumTile",
+    "build_ddc_schedule",
+    "DDCMappingResult",
+    "run_ddc_on_tile",
+    "OccupancyReport",
+    "render_figure9",
+    "MontiumModel",
+    "MONTIUM_SPEC",
+]

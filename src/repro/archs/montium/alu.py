@@ -1,0 +1,214 @@
+"""The Montium two-level ALU (paper Fig. 7).
+
+Level 1 holds four function units for logic/addition on the four 16-bit
+inputs; level 2 holds a multiplier, an adder/subtractor (which can take the
+17-bit east neighbour input) and the butterfly structure.  "Each ALU can
+perform multiple non-multiply operations and one multiplication in one
+clock cycle" — which is exactly what the DDC mapping exploits: Fig. 8 shows
+one ALU doing mix-multiply *and* both CIC2 integrations per clock.
+
+The model executes one configured operation bundle per clock with 16-bit
+wrapping arithmetic (17-bit on the east/west ports), matching the tile's
+fixed word width.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ...errors import ConfigurationError
+
+_W16 = 16
+_W17 = 17
+
+
+def wrap16(v: int) -> int:
+    """Two's-complement wrap to 16 bits."""
+    v &= (1 << _W16) - 1
+    return v - (1 << _W16) if v >= 1 << (_W16 - 1) else v
+
+
+def wrap17(v: int) -> int:
+    """Two's-complement wrap to 17 bits (east/west neighbour ports)."""
+    v &= (1 << _W17) - 1
+    return v - (1 << _W17) if v >= 1 << (_W17 - 1) else v
+
+
+def wrap32(v: int) -> int:
+    """Two's-complement wrap to 32 bits (double-word CIC arithmetic)."""
+    v &= (1 << 32) - 1
+    return v - (1 << 32) if v >= 1 << 31 else v
+
+
+class Level1Fn(enum.Enum):
+    """Function-unit operations available at level 1."""
+
+    PASS_A = "pass_a"
+    ADD = "add"          # a + b
+    SUB = "sub"          # a - b
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT_A = "not_a"
+
+
+class Level2Fn(enum.Enum):
+    """Level-2 operations.
+
+    The ``CIC_*`` entries are *double-word* compound operations: the
+    Montium's level-1 and level-2 adders process the low and high half of
+    a 32-bit value in the same cycle (the standard carry-chaining of a
+    16-bit datapath), which is how the paper's mapping fits the CIC5's
+    >16-bit intermediate words into "two ALUs for four clock cycles".
+    They operate and wrap at 32 bits.
+
+    ``FIR_STEP`` marks the polyphase FIR bookkeeping cycle; its arithmetic
+    is executed by the tile (it owns the memories) — see
+    :meth:`repro.archs.montium.tile.MontiumTile.step`.
+    """
+
+    NONE = "none"
+    MUL = "mul"              # a * b, truncated back to 16 bits (Q15 x Q15)
+    MAC = "mac"              # a * b + c
+    ADD = "add"              # a + b
+    SUB = "sub"              # a - b
+    BUTTERFLY = "butterfly"  # (a + b, a - b)
+    CIC2_COMB = "cic2_comb"  # [x, x - d0, (x-d0)-d1] (16-bit, chained)
+    CIC_INT1 = "cic_int1"    # [s0 + x]               (32-bit)
+    CIC_INT2 = "cic_int2"    # [s0 + x, s1 + s0 + x]  (32-bit, chained)
+    CIC_COMB1 = "cic_comb1"  # [x, x - d0]            (32-bit)
+    CIC_COMB2 = "cic_comb2"  # [x, x - d0, (x-d0)-d1] (32-bit, chained)
+    FIR_STEP = "fir_step"    # handled by the tile (memory-resident state)
+
+
+@dataclass(frozen=True)
+class ALUOp:
+    """One cycle's configuration of one ALU.
+
+    The operand model is deliberately simple: ``sources`` name where the
+    four inputs A..D come from; ``level1``/``level2`` select the functions;
+    ``dests`` name where results go.  Routing names are resolved by the
+    tile (register files, memories, neighbour ports).
+
+    ``label`` ties the op to a DDC algorithm part so the schedule analysis
+    can attribute cycles (Table 6).
+    """
+
+    label: str
+    level1: tuple[Level1Fn, ...] = ()
+    level2: Level2Fn = Level2Fn.NONE
+    sources: tuple[str, ...] = ()
+    dests: tuple[str, ...] = ()
+    #: Multiplier product shift (Q15 x Q15 -> Q15 keeps the top 16 bits).
+    mul_shift: int = 15
+    #: Operand-index pairs consumed by each level-1 function unit; default
+    #: is ((0,1), (2,3), (0,2), (1,3)) over inputs A..D.
+    level1_pairs: tuple[tuple[int, int], ...] = ()
+    #: When True, level 2's first operand is the *output of function unit
+    #: 0* instead of raw input A — Fig. 7's "can choose its input values
+    #: from ... function units three and four" routing.
+    level2_from_l1: bool = False
+    #: Arithmetic right shift applied to level-2 add/sub/CIC results
+    #: before they are stored (the output scaling between filter stages).
+    post_shift: int = 0
+    #: Free-form routing metadata for tile-executed compound ops
+    #: (FIR_STEP uses it to name its coefficient/partial-sum memories and
+    #: its state prefix).
+    meta: tuple[str, ...] = ()
+
+
+class MontiumALU:
+    """Functional two-level ALU."""
+
+    def __init__(self, index: int) -> None:
+        if not 0 <= index < 5:
+            raise ConfigurationError("Montium has ALUs 0..4")
+        self.index = index
+        self.ops_executed = 0
+        self.mul_count = 0
+
+    def execute(self, op: ALUOp, operands: list[int]) -> list[int]:
+        """Execute one op on resolved operand values; returns results.
+
+        Results are produced in the order: level-1 outputs (one per
+        configured function), then the level-2 output(s).
+        """
+        a = operands[0] if len(operands) > 0 else 0
+        b = operands[1] if len(operands) > 1 else 0
+        c = operands[2] if len(operands) > 2 else 0
+        d = operands[3] if len(operands) > 3 else 0
+
+        results: list[int] = []
+        l1_out: list[int] = []
+        # Level 1: function units consume operand pairs; default routing is
+        # (A,B), (C,D), (A,C), (B,D), overridable per op.
+        values = [a, b, c, d]
+        if op.level1_pairs:
+            pairs = [(values[i], values[j]) for i, j in op.level1_pairs]
+        else:
+            pairs = [(a, b), (c, d), (a, c), (b, d)]
+        for i, fn in enumerate(op.level1):
+            x, y = pairs[i % len(pairs)]
+            if fn is Level1Fn.PASS_A:
+                r = x
+            elif fn is Level1Fn.ADD:
+                r = wrap16(x + y)
+            elif fn is Level1Fn.SUB:
+                r = wrap16(x - y)
+            elif fn is Level1Fn.AND:
+                r = x & y
+            elif fn is Level1Fn.OR:
+                r = x | y
+            elif fn is Level1Fn.XOR:
+                r = x ^ y
+            elif fn is Level1Fn.NOT_A:
+                r = wrap16(~x)
+            else:  # pragma: no cover - exhaustive
+                raise ConfigurationError(f"unknown level1 fn {fn}")
+            l1_out.append(r)
+        results.extend(l1_out)
+
+        # Level 2: multiplier / adder / butterfly.  The first operand is
+        # raw input A, or function unit 0's output when level2_from_l1.
+        p = l1_out[0] if (op.level2_from_l1 and l1_out) else a
+        sh = op.post_shift
+        if op.level2 is Level2Fn.MUL:
+            results.append(wrap16((p * b) >> op.mul_shift))
+            self.mul_count += 1
+        elif op.level2 is Level2Fn.MAC:
+            results.append(wrap16(((p * b) >> op.mul_shift) + c))
+            self.mul_count += 1
+        elif op.level2 is Level2Fn.ADD:
+            results.append(wrap17(p + b) >> sh)
+        elif op.level2 is Level2Fn.SUB:
+            results.append(wrap17(p - b) >> sh)
+        elif op.level2 is Level2Fn.CIC2_COMB:
+            # 16-bit comb pair: wrap at the *integrator* modulus (2**16)
+            # before scaling — Hogenauer correctness needs one modulus
+            # through the whole integrator/comb chain.
+            r1 = wrap16(a - b)
+            results.append(a)
+            results.append(r1)
+            results.append(wrap16(r1 - c) >> sh)
+        elif op.level2 is Level2Fn.BUTTERFLY:
+            results.append(wrap17(p + b))
+            results.append(wrap17(p - b))
+        elif op.level2 is Level2Fn.CIC_INT1:
+            results.append(wrap32(b + a) >> sh)
+        elif op.level2 is Level2Fn.CIC_INT2:
+            s0 = wrap32(b + a)
+            results.append(s0)
+            results.append(wrap32(c + s0) >> sh)
+        elif op.level2 is Level2Fn.CIC_COMB1:
+            results.append(a)
+            results.append(wrap32(a - b) >> sh)
+        elif op.level2 is Level2Fn.CIC_COMB2:
+            r1 = wrap32(a - b)
+            results.append(a)
+            results.append(r1)
+            results.append(wrap32(r1 - c) >> sh)
+        elif op.level2 is Level2Fn.FIR_STEP:
+            pass  # arithmetic performed by the tile (memory access needed)
+        self.ops_executed += 1
+        return results

@@ -1,0 +1,90 @@
+"""Montium local memories and register files.
+
+Each ALU owns two small local memories ("The memories can be loaded with
+external data") used for look-up tables, delay lines and intermediate
+results, plus register files feeding its inputs (Fig. 8 maps the CIC2
+integrator registers onto them).
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from .alu import wrap16
+
+
+class LocalMemory:
+    """One 16-bit-wide local memory with a simple auto-increment AGU."""
+
+    def __init__(self, name: str, size: int = 512) -> None:
+        if size < 1:
+            raise ConfigurationError("memory size must be >= 1")
+        self.name = name
+        self.size = size
+        self._data = [0] * size
+        self.addr = 0
+        self.reads = 0
+        self.writes = 0
+
+    def load(self, values: list[int], base: int = 0) -> None:
+        """Bulk-load external data (configuration time)."""
+        if base < 0 or base + len(values) > self.size:
+            raise ConfigurationError(
+                f"{self.name}: load of {len(values)} words at {base} "
+                f"exceeds size {self.size}"
+            )
+        for i, v in enumerate(values):
+            self._data[base + i] = wrap16(int(v))
+
+    def read(self, addr: int | None = None) -> int:
+        """Read a word (at the AGU address when ``addr`` is None)."""
+        a = self.addr if addr is None else addr
+        if not 0 <= a < self.size:
+            raise ConfigurationError(f"{self.name}: read address {a} invalid")
+        self.reads += 1
+        return self._data[a]
+
+    def write(self, value: int, addr: int | None = None) -> None:
+        """Write a word (at the AGU address when ``addr`` is None)."""
+        a = self.addr if addr is None else addr
+        if not 0 <= a < self.size:
+            raise ConfigurationError(f"{self.name}: write address {a} invalid")
+        self.writes += 1
+        self._data[a] = wrap16(int(value))
+
+    def step_agu(self, stride: int = 1, modulo: int | None = None) -> None:
+        """Advance the address generator (wrapping at ``modulo``)."""
+        m = self.size if modulo is None else modulo
+        if m < 1:
+            raise ConfigurationError("modulo must be >= 1")
+        self.addr = (self.addr + stride) % m
+
+    def reset(self) -> None:
+        """Clear contents, address and counters."""
+        self._data = [0] * self.size
+        self.addr = 0
+        self.reads = 0
+        self.writes = 0
+
+
+class RegisterFile:
+    """A small named register file (the Ra..Rd files of each ALU input)."""
+
+    def __init__(self, name: str, size: int = 4) -> None:
+        if size < 1:
+            raise ConfigurationError("register file size must be >= 1")
+        self.name = name
+        self.size = size
+        self._regs = [0] * size
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise ConfigurationError(f"{self.name}: register {index} invalid")
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < self.size:
+            raise ConfigurationError(f"{self.name}: register {index} invalid")
+        self._regs[index] = wrap16(int(value))
+
+    def reset(self) -> None:
+        self._regs = [0] * self.size

@@ -1,0 +1,52 @@
+"""Composition of stream blocks into a processing chain.
+
+A :class:`Chain` is itself a :class:`~repro.dsp.streaming.StreamBlock`, so
+chains nest.  The reference DDC (:mod:`repro.dsp.ddc`) is a Chain of
+mixer -> CIC2 -> CIC5 -> polyphase FIR.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .streaming import StreamBlock
+
+
+class Chain:
+    """Serial composition of streaming blocks."""
+
+    def __init__(self, blocks: Sequence[StreamBlock], name: str = "chain") -> None:
+        blocks = list(blocks)
+        if not blocks:
+            raise ConfigurationError("a chain needs at least one block")
+        for b in blocks:
+            if not (hasattr(b, "process") and callable(b.process)):
+                raise ConfigurationError(f"{b!r} does not implement process()")
+        self.blocks = blocks
+        self.name = name
+
+    def process(self, x: np.ndarray) -> np.ndarray:
+        """Run one block of samples through every stage in order."""
+        y = x
+        for b in self.blocks:
+            y = b.process(y)
+        return y
+
+    def reset(self) -> None:
+        """Reset every stage that supports it."""
+        for b in self.blocks:
+            reset = getattr(b, "reset", None)
+            if callable(reset):
+                reset()
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterable[StreamBlock]:
+        return iter(self.blocks)
+
+    def __getitem__(self, i: int) -> StreamBlock:
+        return self.blocks[i]

@@ -1,0 +1,134 @@
+"""Deployment-scenario analysis (paper Section 7).
+
+The conclusion distinguishes two regimes:
+
+- **static** (Section 7.1): the DDC runs continuously (mobile phone,
+  single-mode radio).  Energy = DDC power, full stop; the ASIC wins.
+- **reconfigurable** (Section 7.2): the DDC is needed only a fraction of
+  the time (PDA occasionally tuning DRM/DAB/GSM).  A reconfigurable fabric
+  can spend its idle time on *other* tasks, so the fair comparison charges
+  a fixed-function chip for the idle hardware it wastes while crediting a
+  reconfigurable one for the work it hosts instead.
+
+:class:`ScenarioAnalysis` quantifies that argument.  For duty cycle ``d``
+(fraction of time the DDC is active) the effective cost of an architecture
+is::
+
+    cost(d) = d * P_active + (1 - d) * P_idle_effective
+
+where ``P_idle_effective`` is the standby power for a fixed-function chip,
+and for a reconfigurable one the *displaced* power the fabric saves by
+hosting another task (modelled as zero cost when ``reusable`` — its idle
+time is not wasted).  :func:`duty_cycle_crossover` finds the duty cycle at
+which two architectures swap rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScenarioCandidate:
+    """An architecture as seen by the scenario analysis.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    active_power_w:
+        Power while performing the DDC.
+    standby_power_w:
+        Power while idle (leakage / standby mode).
+    reusable:
+        True if the fabric can host other work while the DDC is idle
+        (FPGA, Montium, GPP) — its idle time is then not charged to the
+        DDC budget.
+    """
+
+    name: str
+    active_power_w: float
+    standby_power_w: float = 0.0
+    reusable: bool = False
+
+    def effective_power_w(self, duty_cycle: float) -> float:
+        """Average power attributable to the DDC function at ``duty_cycle``."""
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ConfigurationError("duty cycle must be in [0, 1]")
+        idle = 0.0 if self.reusable else self.standby_power_w
+        return duty_cycle * self.active_power_w + (1 - duty_cycle) * idle
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Winner and per-candidate powers at one duty cycle."""
+
+    duty_cycle: float
+    winner: str
+    powers_w: dict[str, float]
+
+
+class ScenarioAnalysis:
+    """Evaluates candidates across duty cycles (static = 1.0)."""
+
+    def __init__(self, candidates: Sequence[ScenarioCandidate]) -> None:
+        if not candidates:
+            raise ConfigurationError("need at least one candidate")
+        names = [c.name for c in candidates]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("candidate names must be unique")
+        self.candidates = list(candidates)
+
+    def evaluate(self, duty_cycle: float) -> ScenarioResult:
+        """Rank candidates at one duty cycle."""
+        powers = {
+            c.name: c.effective_power_w(duty_cycle) for c in self.candidates
+        }
+        winner = min(powers, key=lambda k: powers[k])
+        return ScenarioResult(duty_cycle, winner, powers)
+
+    def static_scenario(self) -> ScenarioResult:
+        """The paper's Section 7.1: full-time DDC."""
+        return self.evaluate(1.0)
+
+    def sweep(self, steps: int = 101) -> list[ScenarioResult]:
+        """Evaluate duty cycles 0..1 on a regular grid."""
+        if steps < 2:
+            raise ConfigurationError("steps must be >= 2")
+        return [self.evaluate(i / (steps - 1)) for i in range(steps)]
+
+    def winning_regions(self, steps: int = 1001) -> list[tuple[float, float, str]]:
+        """(start, end, winner) intervals of duty cycle."""
+        results = self.sweep(steps)
+        regions: list[tuple[float, float, str]] = []
+        start = 0.0
+        current = results[0].winner
+        for r in results[1:]:
+            if r.winner != current:
+                regions.append((start, r.duty_cycle, current))
+                start = r.duty_cycle
+                current = r.winner
+        regions.append((start, 1.0, current))
+        return regions
+
+
+def duty_cycle_crossover(
+    a: ScenarioCandidate, b: ScenarioCandidate
+) -> float | None:
+    """Duty cycle where candidates ``a`` and ``b`` cost the same.
+
+    Solves ``d*Pa + (1-d)*Ia = d*Pb + (1-d)*Ib`` for ``d``; returns ``None``
+    when the lines are parallel or cross outside ``[0, 1]``.
+    """
+    ia = 0.0 if a.reusable else a.standby_power_w
+    ib = 0.0 if b.reusable else b.standby_power_w
+    denom = (a.active_power_w - ia) - (b.active_power_w - ib)
+    if denom == 0.0:
+        return None
+    d = (ib - ia) / denom
+    if not 0.0 <= d <= 1.0:
+        return None
+    return d

@@ -1,0 +1,65 @@
+"""CMOS technology nodes and first-order power scaling.
+
+Section 3.1.2: "The common dependency of the dynamic power consumption is
+that it is linear related to the total capacitance (C) and frequency and
+quadratic related to the voltage (V).  With reduction from 0.25 µm to
+0.13 µm the capacity goes down with a factor 0.25/0.13.  The same goes for
+the voltage that drops with a factor 2.5/1.2.  This makes it reasonable that
+the power consumption decreases with a factor (2.5/1.2)^2 * (0.25/0.13)."
+
+:func:`scale_power` implements exactly that rule; the module also carries
+the four nodes appearing in the paper with their nominal supply voltages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS process node: feature size (µm) and nominal supply (V)."""
+
+    feature_um: float
+    vdd: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.feature_um <= 0:
+            raise ConfigurationError("feature size must be positive")
+        if self.vdd <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label or f"{self.feature_um}um@{self.vdd}V"
+
+
+#: The four nodes used in the paper.
+TECH_250NM = TechnologyNode(0.25, 2.5, "0.25um")
+TECH_180NM = TechnologyNode(0.18, 1.8, "0.18um")
+TECH_130NM = TechnologyNode(0.13, 1.2, "0.13um")
+TECH_90NM = TechnologyNode(0.09, 1.2, "0.09um")
+
+
+def scaling_factor(src: TechnologyNode, dst: TechnologyNode) -> float:
+    """Dynamic-power reduction factor from ``src`` to ``dst``.
+
+    ``(V_src/V_dst)^2 * (L_src/L_dst)`` — the paper's rule.  A factor > 1
+    means the destination node consumes less power.
+    """
+    return (src.vdd / dst.vdd) ** 2 * (src.feature_um / dst.feature_um)
+
+
+def scale_power(
+    power_w: float, src: TechnologyNode, dst: TechnologyNode
+) -> float:
+    """Scale a power figure from ``src`` technology to ``dst``.
+
+    Reproduces the paper's estimates: 115 mW at 0.25 µm -> 13.8 mW at
+    0.13 µm; 27 mW at 0.18 µm -> 8.7 mW.
+    """
+    if power_w < 0:
+        raise ConfigurationError("power must be non-negative")
+    return power_w / scaling_factor(src, dst)

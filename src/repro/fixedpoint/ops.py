@@ -1,0 +1,196 @@
+"""Vectorised fixed-point operations with explicit overflow and rounding.
+
+All functions operate on raw integer representations held in ``int64`` NumPy
+arrays (or Python ints) and are safe for word lengths up to 62 bits of
+result.  Overflow behaviour is always explicit:
+
+- :data:`Overflow.SATURATE` clamps to the representable range, the behaviour
+  of the FPGA FIR output stage ("In case of saturation, the maximum or the
+  minimum value is returned", Section 5.2.1);
+- :data:`Overflow.WRAP` wraps modulo ``2**width``, the behaviour of CIC
+  integrators, which rely on modular arithmetic to cancel overflow between
+  the integrator and comb sections (Hogenauer's classic result).
+
+Rounding modes cover the two used by real DDC hardware: truncation toward
+minus infinity (drop LSBs, what the paper's FPGA quantiser does) and
+round-half-up.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import QFormat
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+class Overflow(enum.Enum):
+    """Overflow policy for fixed-point results."""
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+
+
+class Rounding(enum.Enum):
+    """Rounding policy when discarding fraction bits."""
+
+    TRUNCATE = "truncate"        # floor: drop bits (hardware truncation)
+    NEAREST = "nearest"          # round half away from zero
+    FLOOR = "floor"              # alias of TRUNCATE semantics
+
+
+def clip_range(fmt: QFormat) -> tuple[int, int]:
+    """Return ``(min_raw, max_raw)`` of a format as plain ints."""
+    return fmt.min_raw, fmt.max_raw
+
+
+def _as_int64(x: ArrayLike) -> np.ndarray:
+    arr = np.asarray(x)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise FixedPointError(
+            f"raw fixed-point values must be integers, got dtype {arr.dtype}"
+        )
+    return arr.astype(np.int64, copy=False)
+
+
+def saturate(raw: ArrayLike, fmt: QFormat) -> np.ndarray:
+    """Clamp raw values into the representable range of ``fmt``."""
+    arr = _as_int64(raw)
+    return np.clip(arr, fmt.min_raw, fmt.max_raw)
+
+
+def wrap(raw: ArrayLike, fmt: QFormat) -> np.ndarray:
+    """Wrap raw values modulo ``2**width`` into ``fmt``'s signed range.
+
+    This reproduces two's-complement register behaviour: bits above the
+    word width are discarded and the sign bit is re-interpreted.
+    """
+    arr = _as_int64(raw)
+    if fmt.width >= 64:
+        # int64 arithmetic is already modulo 2**64; reinterpretation is a no-op.
+        return arr.copy()
+    modulus = np.int64(1) << fmt.width
+    half = np.int64(1) << (fmt.width - 1)
+    wrapped = np.bitwise_and(arr, modulus - 1)
+    return np.where(wrapped >= half, wrapped - modulus, wrapped).astype(np.int64)
+
+
+def _apply_overflow(raw: np.ndarray, fmt: QFormat, policy: Overflow) -> np.ndarray:
+    if policy is Overflow.SATURATE:
+        return saturate(raw, fmt)
+    if policy is Overflow.WRAP:
+        return wrap(raw, fmt)
+    raise FixedPointError(f"unknown overflow policy {policy!r}")
+
+
+def quantize(
+    raw: ArrayLike,
+    shift: int,
+    rounding: Rounding = Rounding.TRUNCATE,
+) -> np.ndarray:
+    """Discard ``shift`` LSBs from raw values with the given rounding.
+
+    ``shift`` may be zero (no-op) but not negative; widening is a plain
+    left shift and needs no rounding decision.
+    """
+    if shift < 0:
+        raise FixedPointError(f"quantize shift must be >= 0, got {shift}")
+    arr = _as_int64(raw)
+    if shift == 0:
+        return arr.copy()
+    if rounding in (Rounding.TRUNCATE, Rounding.FLOOR):
+        # Arithmetic right shift == floor division by 2**shift.
+        return arr >> shift
+    if rounding is Rounding.NEAREST:
+        half = np.int64(1) << (shift - 1)
+        # Round half away from zero to keep the quantiser odd-symmetric.
+        return np.where(arr >= 0, (arr + half) >> shift, -((-arr + half) >> shift))
+    raise FixedPointError(f"unknown rounding mode {rounding!r}")
+
+
+def to_fixed(
+    value: ArrayLike,
+    fmt: QFormat,
+    rounding: Rounding = Rounding.NEAREST,
+    overflow: Overflow = Overflow.SATURATE,
+) -> np.ndarray:
+    """Convert real values to raw integers in ``fmt``.
+
+    Rounding happens in floating point (the values are real numbers, not
+    raw words), then the overflow policy is applied.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    scaled = arr * (2.0 ** fmt.frac)
+    if rounding is Rounding.NEAREST:
+        raw = np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+    elif rounding in (Rounding.TRUNCATE, Rounding.FLOOR):
+        raw = np.floor(scaled)
+    else:
+        raise FixedPointError(f"unknown rounding mode {rounding!r}")
+    raw = raw.astype(np.int64)
+    return _apply_overflow(raw, fmt, overflow)
+
+
+def from_fixed(raw: ArrayLike, fmt: QFormat) -> np.ndarray:
+    """Convert raw integers in ``fmt`` back to real values (float64)."""
+    arr = _as_int64(raw)
+    return arr.astype(np.float64) * fmt.scale
+
+
+def add_sat(a: ArrayLike, b: ArrayLike, fmt: QFormat) -> np.ndarray:
+    """Saturating addition of raw values in ``fmt``."""
+    result = _as_int64(a) + _as_int64(b)
+    return saturate(result, fmt)
+
+
+def sub_sat(a: ArrayLike, b: ArrayLike, fmt: QFormat) -> np.ndarray:
+    """Saturating subtraction of raw values in ``fmt``."""
+    result = _as_int64(a) - _as_int64(b)
+    return saturate(result, fmt)
+
+
+def mul_full(a: ArrayLike, b: ArrayLike, a_fmt: QFormat, b_fmt: QFormat) -> np.ndarray:
+    """Full-precision product of raw values; result format is
+    ``a_fmt.for_product(b_fmt)``.
+
+    Raises :class:`FixedPointError` if the product could exceed int64,
+    which would silently corrupt the simulation.
+    """
+    if a_fmt.width + b_fmt.width > 63:
+        raise FixedPointError(
+            "product width "
+            f"{a_fmt.width}+{b_fmt.width} exceeds the 63-bit safe range"
+        )
+    return _as_int64(a) * _as_int64(b)
+
+
+def requantize(
+    raw: ArrayLike,
+    src: QFormat,
+    dst: QFormat,
+    rounding: Rounding = Rounding.TRUNCATE,
+    overflow: Overflow = Overflow.SATURATE,
+) -> np.ndarray:
+    """Convert raw values from ``src`` format to ``dst`` format.
+
+    Handles both narrowing (rounding then overflow policy) and widening
+    (exact left shift).  This is the single conversion primitive used at
+    every stage boundary of the hardware models.
+    """
+    arr = _as_int64(raw)
+    shift = src.frac - dst.frac
+    if shift > 0:
+        arr = quantize(arr, shift, rounding)
+    elif shift < 0:
+        if arr.size and (
+            int(arr.max(initial=0)) > (fmt_max := (1 << 62)) // (1 << -shift)
+            or int(arr.min(initial=0)) < -fmt_max // (1 << -shift)
+        ):
+            raise FixedPointError("left shift in requantize would overflow int64")
+        arr = arr << (-shift)
+    return _apply_overflow(arr, dst, overflow)

@@ -1,0 +1,118 @@
+"""Scalar fixed-point value wrapper.
+
+:class:`FixedWord` bundles a raw integer with its :class:`~repro.fixedpoint.
+qformat.QFormat` and provides arithmetic with explicit, hardware-like
+semantics.  It is deliberately scalar and simple — the hot paths of the
+library use the vectorised functions in :mod:`repro.fixedpoint.ops`; the
+wrapper exists for readability in component models, tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FixedPointError
+from .qformat import QFormat
+from .ops import Overflow, Rounding, requantize, saturate, to_fixed, wrap
+
+
+@dataclass(frozen=True)
+class FixedWord:
+    """An immutable fixed-point scalar: raw two's-complement value + format."""
+
+    raw: int
+    fmt: QFormat
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.raw, int):
+            raise FixedPointError(f"raw must be int, got {type(self.raw).__name__}")
+        if not self.fmt.contains_raw(self.raw):
+            raise FixedPointError(
+                f"raw value {self.raw} does not fit {self.fmt}"
+            )
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_real(
+        cls,
+        value: float,
+        fmt: QFormat,
+        rounding: Rounding = Rounding.NEAREST,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FixedWord":
+        """Quantise a real value into ``fmt``."""
+        raw = int(to_fixed(value, fmt, rounding, overflow))
+        return cls(raw, fmt)
+
+    @classmethod
+    def zero(cls, fmt: QFormat) -> "FixedWord":
+        """The zero word in ``fmt``."""
+        return cls(0, fmt)
+
+    # ------------------------------------------------------------ conversion
+    @property
+    def value(self) -> float:
+        """Real value represented by this word."""
+        return self.raw * self.fmt.scale
+
+    def cast(
+        self,
+        fmt: QFormat,
+        rounding: Rounding = Rounding.TRUNCATE,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FixedWord":
+        """Requantise into another format."""
+        raw = int(requantize(self.raw, self.fmt, fmt, rounding, overflow))
+        return FixedWord(raw, fmt)
+
+    # ------------------------------------------------------------ arithmetic
+    def _binary(self, other: "FixedWord", op: str, overflow: Overflow) -> "FixedWord":
+        if not isinstance(other, FixedWord):
+            raise FixedPointError(f"cannot {op} FixedWord with {type(other).__name__}")
+        if other.fmt.frac != self.fmt.frac:
+            raise FixedPointError(
+                f"{op} requires matching fraction bits: {self.fmt} vs {other.fmt}"
+            )
+        fmt = self.fmt if self.fmt.width >= other.fmt.width else other.fmt
+        raw = self.raw + other.raw if op == "add" else self.raw - other.raw
+        if overflow is Overflow.SATURATE:
+            raw = int(saturate(raw, fmt))
+        else:
+            raw = int(wrap(raw, fmt))
+        return FixedWord(raw, fmt)
+
+    def add(self, other: "FixedWord", overflow: Overflow = Overflow.SATURATE) -> "FixedWord":
+        """Addition with the given overflow policy (same fraction bits)."""
+        return self._binary(other, "add", overflow)
+
+    def sub(self, other: "FixedWord", overflow: Overflow = Overflow.SATURATE) -> "FixedWord":
+        """Subtraction with the given overflow policy (same fraction bits)."""
+        return self._binary(other, "sub", overflow)
+
+    def mul(self, other: "FixedWord") -> "FixedWord":
+        """Full-precision product; result format grows like a hardware
+        multiplier (sum of widths and fraction bits)."""
+        if not isinstance(other, FixedWord):
+            raise FixedPointError(f"cannot mul FixedWord with {type(other).__name__}")
+        fmt = self.fmt.for_product(other.fmt)
+        if fmt.width > 64:
+            raise FixedPointError(f"product format {fmt} exceeds 64 bits")
+        return FixedWord(self.raw * other.raw, fmt)
+
+    def __add__(self, other: "FixedWord") -> "FixedWord":
+        return self.add(other)
+
+    def __sub__(self, other: "FixedWord") -> "FixedWord":
+        return self.sub(other)
+
+    def __mul__(self, other: "FixedWord") -> "FixedWord":
+        return self.mul(other)
+
+    def __neg__(self) -> "FixedWord":
+        return FixedWord(int(saturate(-self.raw, self.fmt)), self.fmt)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value:+.6g} ({self.fmt}, raw={self.raw})"

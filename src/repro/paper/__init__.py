@@ -1,0 +1,38 @@
+"""Regeneration of every table and figure of the paper.
+
+Each ``tableN()`` / ``figureN()`` function recomputes the published
+artefact from the library's models and returns a structured result with a
+``render()`` text form; ``benchmarks/`` wraps each in a pytest-benchmark
+target, and ``EXPERIMENTS.md`` records paper-vs-measured values.
+"""
+
+from .tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    TableResult,
+)
+from .figures import figure1, figure2, figure3, figure4, figure8, figure9
+from .scenarios import section7_scenarios
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "TableResult",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure8",
+    "figure9",
+    "section7_scenarios",
+]

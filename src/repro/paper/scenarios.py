@@ -1,0 +1,44 @@
+"""Section 7: the static and reconfigurable deployment scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DDCConfig, REFERENCE_DDC
+from ..core.evaluator import DDCEvaluator
+from ..energy.scenarios import ScenarioAnalysis
+
+
+@dataclass
+class Section7Result:
+    """The conclusion's two recommendations plus the duty-cycle map."""
+
+    static_winner: str
+    reconfigurable_winner: str
+    winning_regions: list[tuple[float, float, str]]
+
+    def render(self) -> str:
+        lines = [
+            "Section 7 scenarios",
+            f"  static (full-time DDC):        {self.static_winner}",
+            f"  reconfigurable (part-time):    {self.reconfigurable_winner}",
+            "  duty-cycle winners:",
+        ]
+        for lo, hi, name in self.winning_regions:
+            lines.append(f"    {lo:5.1%} .. {hi:5.1%}: {name}")
+        return "\n".join(lines)
+
+
+def section7_scenarios(
+    config: DDCConfig = REFERENCE_DDC,
+    evaluator: DDCEvaluator | None = None,
+) -> Section7Result:
+    """Recompute the paper's conclusion."""
+    ev = evaluator or DDCEvaluator()
+    result = ev.evaluate(config)
+    analysis: ScenarioAnalysis = ev.scenario_analysis(config)
+    return Section7Result(
+        static_winner=result.static_winner,
+        reconfigurable_winner=result.reconfigurable_winner,
+        winning_regions=analysis.winning_regions(steps=501),
+    )

@@ -1,0 +1,35 @@
+"""Cycle-driven structural hardware simulator.
+
+The FPGA implementation of Section 5 is described at the register-transfer
+level: 12-bit data buses, output-valid handshake lines, a sequential
+polyphase FIR spending 125 clock cycles per output.  To reproduce its
+behaviour (bit-true output) *and* its cost (toggle activity feeding the
+PowerPlay-style power model), this package provides a small synchronous
+simulator:
+
+- :class:`~repro.simkernel.wire.Wire` — a named bus with a current value,
+  single-driver next-value semantics and toggle counting;
+- :class:`~repro.simkernel.component.Component` — synchronous logic
+  evaluated once per cycle, reading wires' *current* values and driving
+  their *next* values (two-phase update, so evaluation order never matters);
+- :class:`~repro.simkernel.scheduler.Simulator` — owns the clock, the wires
+  and the components, advances cycles, and aggregates activity;
+- :class:`~repro.simkernel.trace.WaveTrace` / activity reports — waveform
+  capture and per-wire toggle-rate statistics (the "internal toggle rate"
+  that Table 5 sweeps).
+"""
+
+from .clock import ClockDomain
+from .wire import Wire
+from .component import Component
+from .scheduler import Simulator
+from .trace import ActivityReport, WaveTrace
+
+__all__ = [
+    "ClockDomain",
+    "Wire",
+    "Component",
+    "Simulator",
+    "ActivityReport",
+    "WaveTrace",
+]

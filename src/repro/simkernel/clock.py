@@ -1,0 +1,46 @@
+"""Clock domains.
+
+The paper's FPGA DDC runs everything at the 64.512 MHz input clock (the
+sequential FIR trades hardware for cycles precisely to avoid a second
+domain), so most simulations use a single :class:`ClockDomain`; the class
+still carries frequency so power models can convert cycle counts and toggle
+counts into time and dynamic power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with a frequency in Hz."""
+
+    name: str
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"clock {self.name!r}: frequency must be positive, "
+                f"got {self.frequency_hz}"
+            )
+
+    @property
+    def period_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_for(self, seconds: float) -> int:
+        """Number of whole cycles elapsing in ``seconds``."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be >= 0")
+        return int(seconds * self.frequency_hz)
+
+    def time_of(self, cycles: int) -> float:
+        """Wall-clock time of ``cycles`` clock periods, in seconds."""
+        if cycles < 0:
+            raise ConfigurationError("cycles must be >= 0")
+        return cycles * self.period_s

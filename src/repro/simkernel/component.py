@@ -1,0 +1,83 @@
+"""Synchronous components.
+
+A :class:`Component` is a block of registered logic: once per clock cycle
+the simulator calls :meth:`Component.tick`, which reads the *current*
+values of its input wires and drives the *next* values of its output wires.
+Because every read sees last cycle's committed state, evaluation order
+between components cannot change results — the property that makes the
+kernel deterministic and lets the test suite compare against the bit-true
+:mod:`repro.dsp` models sample-for-sample.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import SimulationError
+from .wire import Wire
+
+
+class Component(ABC):
+    """Base class for synchronous logic blocks."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SimulationError("component name must be non-empty")
+        self.name = name
+        self._inputs: dict[str, Wire] = {}
+        self._outputs: dict[str, Wire] = {}
+
+    # ----------------------------------------------------------- port setup
+    def add_input(self, port: str, wire: Wire) -> Wire:
+        """Connect ``wire`` as input ``port``."""
+        if port in self._inputs:
+            raise SimulationError(f"{self.name}: duplicate input port {port!r}")
+        self._inputs[port] = wire
+        return wire
+
+    def add_output(self, port: str, wire: Wire) -> Wire:
+        """Connect ``wire`` as output ``port``."""
+        if port in self._outputs:
+            raise SimulationError(f"{self.name}: duplicate output port {port!r}")
+        self._outputs[port] = wire
+        return wire
+
+    # ------------------------------------------------------------ port use
+    def read(self, port: str) -> int:
+        """Current (previous-cycle) value of an input port."""
+        try:
+            return self._inputs[port].value
+        except KeyError:
+            raise SimulationError(
+                f"{self.name}: read of unconnected input {port!r}"
+            ) from None
+
+    def write(self, port: str, value: int) -> None:
+        """Drive an output port for the next cycle."""
+        try:
+            self._outputs[port].drive(value, driver=self.name)
+        except KeyError:
+            raise SimulationError(
+                f"{self.name}: write to unconnected output {port!r}"
+            ) from None
+
+    @property
+    def inputs(self) -> dict[str, Wire]:
+        """Connected input wires by port name."""
+        return dict(self._inputs)
+
+    @property
+    def outputs(self) -> dict[str, Wire]:
+        """Connected output wires by port name."""
+        return dict(self._outputs)
+
+    # -------------------------------------------------------------- dynamics
+    @abstractmethod
+    def tick(self, cycle: int) -> None:
+        """Evaluate one clock cycle (read inputs, drive outputs)."""
+
+    def reset(self) -> None:
+        """Clear internal registers; default is stateless."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

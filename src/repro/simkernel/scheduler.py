@@ -1,0 +1,111 @@
+"""The cycle-driven simulator.
+
+:class:`Simulator` owns one clock domain, a set of wires and a set of
+components.  :meth:`Simulator.step` advances one clock edge in two phases:
+
+1. evaluate — every component's ``tick`` runs, reading committed wire
+   values and scheduling next values;
+2. commit — every wire latches its next value and updates toggle counts.
+
+The kernel is deliberately small: all behaviour lives in components, all
+observability in wires and traces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import SimulationError
+from .clock import ClockDomain
+from .component import Component
+from .trace import ActivityReport, WaveTrace
+from .wire import Wire
+
+
+class Simulator:
+    """Synchronous single-clock simulator."""
+
+    def __init__(self, clock: ClockDomain) -> None:
+        self.clock = clock
+        self._wires: dict[str, Wire] = {}
+        self._components: dict[str, Component] = {}
+        self._traces: list[WaveTrace] = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------- assembly
+    def wire(self, name: str, width: int = 1, reset_value: int = 0) -> Wire:
+        """Create and register a wire (names must be unique)."""
+        if name in self._wires:
+            raise SimulationError(f"duplicate wire name {name!r}")
+        w = Wire(name, width, reset_value)
+        self._wires[name] = w
+        return w
+
+    def add(self, component: Component) -> Component:
+        """Register a component (names must be unique)."""
+        if component.name in self._components:
+            raise SimulationError(f"duplicate component name {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def attach_trace(self, trace: WaveTrace) -> WaveTrace:
+        """Record the given trace every cycle."""
+        self._traces.append(trace)
+        return trace
+
+    @property
+    def wires(self) -> dict[str, Wire]:
+        """Registered wires by name."""
+        return dict(self._wires)
+
+    @property
+    def components(self) -> dict[str, Component]:
+        """Registered components by name."""
+        return dict(self._components)
+
+    # -------------------------------------------------------------- running
+    def step(self, cycles: int = 1) -> None:
+        """Advance ``cycles`` clock edges."""
+        if cycles < 0:
+            raise SimulationError("cycles must be >= 0")
+        for _ in range(cycles):
+            for comp in self._components.values():
+                comp.tick(self.cycle)
+            for w in self._wires.values():
+                w.commit()
+            for t in self._traces:
+                t.sample(self.cycle)
+            self.cycle += 1
+
+    def run_until(self, predicate, max_cycles: int = 1_000_000) -> int:
+        """Step until ``predicate(sim)`` is true; returns the cycle count.
+
+        Raises :class:`SimulationError` if ``max_cycles`` elapse first.
+        """
+        start = self.cycle
+        while not predicate(self):
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"run_until exceeded {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+    def reset(self) -> None:
+        """Reset wires, components, traces and the cycle counter."""
+        for w in self._wires.values():
+            w.reset()
+        for c in self._components.values():
+            c.reset()
+        for t in self._traces:
+            t.clear()
+        self.cycle = 0
+
+    # ---------------------------------------------------------------- stats
+    def activity_report(self) -> ActivityReport:
+        """Per-wire and aggregate toggle statistics for the run so far."""
+        return ActivityReport.from_wires(self._wires.values(), self.cycle)
+
+    def elapsed_time_s(self) -> float:
+        """Simulated wall-clock time."""
+        return self.clock.time_of(self.cycle)

@@ -1,0 +1,95 @@
+"""Wires: named buses with two-phase update and toggle counting.
+
+A :class:`Wire` holds a signed two's-complement value of fixed ``width``.
+During a cycle, components read :attr:`value` (the registered value from the
+previous cycle) and call :meth:`drive` to set the value for the next cycle;
+the simulator then calls :meth:`commit` on every wire.  Driving the same
+wire twice in one cycle raises :class:`~repro.errors.SimulationError`
+(multiple drivers = bus contention).
+
+Toggle accounting: on every commit the number of flipped bits between the
+old and new value is accumulated.  ``toggles / (cycles * width)`` is the
+wire's *toggle rate* — the quantity Quartus' PowerPlay sweeps in the paper's
+Table 5 and that our FPGA power model consumes.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..fixedpoint import QFormat
+
+
+class Wire:
+    """A named synchronous bus."""
+
+    def __init__(self, name: str, width: int = 1, reset_value: int = 0) -> None:
+        if not 1 <= width <= 64:
+            raise SimulationError(f"wire {name!r}: width must be in 1..64")
+        self.name = name
+        self.width = width
+        self._fmt = QFormat(width, 0) if width > 1 else None
+        self._lo, self._hi = self._range()
+        if not self._lo <= reset_value <= self._hi:
+            raise SimulationError(
+                f"wire {name!r}: reset value {reset_value} does not fit "
+                f"{width} bits"
+            )
+        self.reset_value = reset_value
+        self.value = reset_value
+        self._next: int | None = None
+        self._driver: str | None = None
+        self.toggles = 0
+        self.commits = 0
+
+    def _range(self) -> tuple[int, int]:
+        if self.width == 1:
+            return 0, 1
+        assert self._fmt is not None
+        return self._fmt.min_raw, self._fmt.max_raw
+
+    # ------------------------------------------------------------------ API
+    def drive(self, value: int, driver: str = "?") -> None:
+        """Schedule ``value`` to appear on the wire next cycle."""
+        value = int(value)
+        if self._next is not None:
+            raise SimulationError(
+                f"wire {self.name!r}: driven by both {self._driver!r} and "
+                f"{driver!r} in the same cycle"
+            )
+        if not self._lo <= value <= self._hi:
+            raise SimulationError(
+                f"wire {self.name!r}: value {value} does not fit "
+                f"{self.width} bits (driver {driver!r})"
+            )
+        self._next = value
+        self._driver = driver
+
+    def commit(self) -> None:
+        """Latch the driven value (or hold) and count bit toggles."""
+        new = self.value if self._next is None else self._next
+        # Two's-complement XOR over the wire width counts flipped bits.
+        mask = (1 << self.width) - 1
+        diff = (self.value ^ new) & mask
+        self.toggles += diff.bit_count()
+        self.commits += 1
+        self.value = new
+        self._next = None
+        self._driver = None
+
+    def reset(self) -> None:
+        """Return to the reset value and clear statistics."""
+        self.value = self.reset_value
+        self._next = None
+        self._driver = None
+        self.toggles = 0
+        self.commits = 0
+
+    @property
+    def toggle_rate(self) -> float:
+        """Average fraction of bits toggling per cycle (0..1)."""
+        if self.commits == 0:
+            return 0.0
+        return self.toggles / (self.commits * self.width)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Wire({self.name!r}, width={self.width}, value={self.value})"

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import REFERENCE_DDC
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(0xDDC)
+
+
+@pytest.fixture
+def ref_config():
+    """The paper's reference DDC configuration."""
+    return REFERENCE_DDC

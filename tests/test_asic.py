@@ -1,0 +1,130 @@
+"""Tests for the ASIC models (Section 3: GC4016 and low-power DDC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import REFERENCE_DDC, DDCConfig
+from repro.archs.asic import (
+    GC4016Channel,
+    GC4016Model,
+    GC4016_SPEC,
+    LowPowerDDCModel,
+    LOWPOWER_SPEC,
+    gate_count_estimate,
+)
+from repro.dsp.signals import gsm_like_burst, tone
+from repro.errors import ConfigurationError
+
+
+class TestGC4016Channel:
+    def test_datasheet_decimation_range(self):
+        with pytest.raises(ConfigurationError):
+            GC4016Channel(69.333e6, 10e6, cic_decimation=4)
+        with pytest.raises(ConfigurationError):
+            GC4016Channel(69.333e6, 10e6, cic_decimation=8192)
+
+    def test_input_rate_limit(self):
+        with pytest.raises(ConfigurationError):
+            GC4016Channel(120e6, 10e6, cic_decimation=64)
+
+    def test_total_decimation(self):
+        ch = GC4016Channel(69.333e6, 10e6, cic_decimation=64)
+        assert ch.total_decimation == 256
+
+    def test_gsm_example_output_rate(self):
+        """Section 3.1.2: 69.333 MHz / 256 = 270.833 kHz."""
+        ch = GC4016Channel(69.333e6, 10e6, cic_decimation=64)
+        assert ch.output_rate_hz == pytest.approx(270_832.0, rel=1e-3)
+
+    def test_processes_gsm_burst(self):
+        ch = GC4016Channel(69.333e6, 10e6, cic_decimation=64)
+        x = gsm_like_burst(256 * 30, 69.333e6, 10e6, seed=1)
+        y = ch.process(x)
+        assert len(y) == 30
+        assert np.iscomplexobj(y)
+
+    def test_tone_selectivity(self):
+        """In-band tone passes, out-of-band tone is rejected."""
+        fs, fc = 69.333e6, 10e6
+        n = 256 * 120
+        ch = GC4016Channel(fs, fc, cic_decimation=64)
+        y_in = ch.process(tone(n, fc + 50e3, fs, 0.5))
+        ch.reset()
+        y_out = ch.process(tone(n, fc + 5e6, fs, 0.5))
+        p_in = np.mean(np.abs(y_in[20:]) ** 2)
+        p_out = np.mean(np.abs(y_out[20:]) ** 2)
+        assert 10 * np.log10(p_in / p_out) > 40
+
+    def test_reset(self):
+        ch = GC4016Channel(69.333e6, 10e6, cic_decimation=64)
+        x = tone(256 * 10, 10.05e6, 69.333e6, 0.5)
+        a = ch.process(x)
+        ch.reset()
+        b = ch.process(x)
+        np.testing.assert_allclose(a, b)
+
+
+class TestGC4016Model:
+    def test_supports_reference_total(self):
+        assert GC4016Model().supports(REFERENCE_DDC)  # 2688 in 32..16384
+
+    def test_rejects_tiny_decimation(self):
+        cfg = DDCConfig(cic2_decimation=2, cic5_decimation=2,
+                        fir_decimation=2)
+        assert not GC4016Model().supports(cfg)
+
+    def test_paper_operating_point(self):
+        report = GC4016Model().implement(REFERENCE_DDC)
+        assert report.power_w == pytest.approx(0.115)
+        assert report.clock_hz == pytest.approx(80e6)
+        assert report.technology.feature_um == 0.25
+
+    def test_scaled_operating_point(self):
+        report = GC4016Model(at_paper_operating_point=False).implement(
+            REFERENCE_DDC
+        )
+        assert report.power_w == pytest.approx(0.115 * 64.512 / 80, rel=1e-3)
+
+
+class TestLowPowerModel:
+    def test_reference_power_is_27mw(self):
+        report = LowPowerDDCModel().implement(REFERENCE_DDC)
+        assert report.power_w * 1e3 == pytest.approx(27.0, rel=1e-6)
+
+    def test_area(self):
+        report = LowPowerDDCModel().implement(REFERENCE_DDC)
+        assert report.area_mm2 == pytest.approx(1.7)
+
+    def test_decimation_range(self):
+        model = LowPowerDDCModel()
+        assert model.supports(REFERENCE_DDC)
+        with pytest.raises(ConfigurationError):
+            model.estimate_power_w(
+                DDCConfig(cic2_decimation=64, cic5_decimation=64,
+                          fir_decimation=32, nco_frequency_hz=1e6)
+            )  # 131072 > the 65536 datasheet maximum
+
+    def test_gate_counts_positive(self):
+        stages = gate_count_estimate(REFERENCE_DDC)
+        assert all(s.gates > 0 for s in stages)
+        assert all(0 < s.relative_rate <= 1.0 for s in stages)
+
+    def test_first_stages_dominate(self):
+        """Section 3.1.2: 'The first stages of the DDC consume most of the
+        energy, because this part is working with the highest sample
+        rate.'"""
+        stages = {s.name: s.weighted_gates for s in
+                  gate_count_estimate(REFERENCE_DDC)}
+        full_rate = stages["NCO+mixer"] + stages["CIC2-integrators"]
+        rest = sum(v for k, v in stages.items()
+                   if k not in ("NCO+mixer", "CIC2-integrators"))
+        assert full_rate > 2 * rest
+
+    def test_smaller_chain_costs_less(self):
+        model = LowPowerDDCModel()
+        narrow = DDCConfig(data_width=8)
+        assert model.estimate_power_w(narrow) < model.estimate_power_w(
+            REFERENCE_DDC
+        )

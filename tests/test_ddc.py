@@ -1,0 +1,186 @@
+"""End-to-end tests of the reference DDC (gold + bit-true)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DDC, FixedDDC, REFERENCE_DDC, DDCConfig
+from repro.dsp.metrics import snr_db
+from repro.dsp.signals import drm_like_ofdm, quantize_to_adc, tone
+from repro.errors import ConfigurationError
+
+FS = REFERENCE_DDC.input_rate_hz
+FC = REFERENCE_DDC.nco_frequency_hz
+D = REFERENCE_DDC.total_decimation
+
+
+class TestDDCStructure:
+    def test_total_decimation(self):
+        assert DDC().total_decimation == 2688
+
+    def test_output_rate(self):
+        assert REFERENCE_DDC.output_rate_hz == pytest.approx(24_000.0)
+
+    def test_output_length(self):
+        ddc = DDC()
+        out = ddc.process(np.zeros(D * 4))
+        assert len(out.baseband) == 4
+
+    def test_intermediates(self):
+        ddc = DDC()
+        out = ddc.process(np.zeros(D * 2), keep_intermediates=True)
+        assert out.cic2_out is not None and len(out.cic2_out) == D * 2 // 16
+        assert out.cic5_out is not None and len(out.cic5_out) == D * 2 // (16 * 21)
+
+    def test_iq_properties(self):
+        out = DDC().process(np.zeros(D))
+        assert out.i.shape == out.q.shape == out.baseband.shape
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            DDC().process(np.zeros((2, 2)))
+
+    def test_reset_reproducibility(self, rng):
+        ddc = DDC()
+        x = rng.normal(size=D * 3)
+        a = ddc.process(x).baseband
+        ddc.reset()
+        b = ddc.process(x).baseband
+        np.testing.assert_allclose(a, b)
+
+    def test_streaming_equals_one_shot(self, rng):
+        x = rng.normal(size=D * 4)
+        whole = DDC().process(x).baseband
+        ddc = DDC()
+        parts = [ddc.process(x[: D + 13]).baseband,
+                 ddc.process(x[D + 13 :]).baseband]
+        np.testing.assert_allclose(np.concatenate(parts), whole, atol=1e-12)
+
+
+class TestDDCSelectivity:
+    def test_in_band_tone_passes(self):
+        """A tone at carrier + 5 kHz lands at 5 kHz in the 24 kHz output."""
+        n = D * 64
+        x = tone(n, FC + 5_000.0, FS, amplitude=0.5)
+        out = DDC().process(x).baseband
+        settled = out[16:]
+        spec = np.abs(np.fft.fft(settled * np.hanning(len(settled))))
+        freqs = np.fft.fftfreq(len(settled), 1 / 24_000.0)
+        peak_freq = freqs[np.argmax(spec)]
+        assert peak_freq == pytest.approx(5_000.0, abs=24_000.0 / len(settled) * 2)
+
+    def test_out_of_band_tone_rejected(self):
+        """A tone 2 MHz from the carrier must be strongly attenuated."""
+        n = D * 64
+        x_in = tone(n, FC + 5_000.0, FS, amplitude=0.5)
+        x_out = tone(n, FC + 2_000_000.0, FS, amplitude=0.5)
+        pass_p = np.mean(np.abs(DDC().process(x_in).baseband[16:]) ** 2)
+        rej_p = np.mean(np.abs(DDC().process(x_out).baseband[16:]) ** 2)
+        assert 10 * np.log10(pass_p / rej_p) > 50
+
+    def test_gain_near_unity_in_passband(self):
+        n = D * 64
+        x = tone(n, FC + 3_000.0, FS, amplitude=0.5)
+        out = DDC().process(x).baseband[16:]
+        # Real tone of amplitude a -> complex baseband amplitude a/2.
+        amp = np.abs(out).mean()
+        assert amp == pytest.approx(0.25, rel=0.1)
+
+    def test_drm_signal_survives(self):
+        """The DRM-like OFDM payload passes with sensible power."""
+        n = D * 32
+        x = drm_like_ofdm(n, FS, FC, seed=42)
+        out = DDC().process(x).baseband[8:]
+        assert np.mean(np.abs(out) ** 2) > 0.1 * np.mean(x**2)
+
+
+class TestFixedDDC:
+    def test_output_is_integer_pair(self):
+        f = FixedDDC()
+        x = quantize_to_adc(np.zeros(D), 12)
+        i, q = f.process(x)
+        assert i.dtype == np.int64 and q.dtype == np.int64
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            FixedDDC().process(np.zeros(10))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            FixedDDC().process(np.array([5000]))
+
+    def test_matches_gold_model_snr(self):
+        """Fixed-point output tracks the gold model with >28 dB fidelity.
+
+        The 12-bit chain truncates at four points (mixer, CIC2, CIC5, FIR);
+        ~30 dB against the float gold model is the expected budget.
+        """
+        n = D * 48
+        xf = tone(n, FC + 5_000.0, FS, amplitude=0.8)
+        x_raw = quantize_to_adc(xf, 12)
+
+        gold = DDC(lut_addr_bits=10)
+        fixed = FixedDDC(lut_addr_bits=10)
+        want = gold.process(x_raw.astype(float) * 2.0**-11).baseband
+        got = fixed.process_to_float(x_raw)
+
+        # Skip the filter transient.
+        want, got = want[16:], got[16:]
+        err = got - want
+        p_sig = np.mean(np.abs(want) ** 2)
+        p_err = np.mean(np.abs(err) ** 2)
+        assert 10 * np.log10(p_sig / p_err) > 28
+
+    def test_streaming_equals_one_shot(self):
+        n = D * 6
+        x = quantize_to_adc(
+            tone(n, FC + 4_000.0, FS, amplitude=0.7), 12
+        )
+        whole_i, whole_q = FixedDDC().process(x)
+        f = FixedDDC()
+        i1, q1 = f.process(x[: D * 2 + 7])
+        i2, q2 = f.process(x[D * 2 + 7 :])
+        np.testing.assert_array_equal(np.concatenate([i1, i2]), whole_i)
+        np.testing.assert_array_equal(np.concatenate([q1, q2]), whole_q)
+
+    def test_dc_input_settles(self):
+        f = FixedDDC(DDCConfig(nco_frequency_hz=0.0))
+        x = np.full(D * 16, 1024, dtype=np.int64)
+        i, q = f.process(x)
+        assert np.abs(i[-1]) > 0  # DC passes through the whole chain
+
+    def test_reset(self):
+        f = FixedDDC()
+        x = quantize_to_adc(tone(D * 2, FC, FS, 0.5), 12)
+        a = f.process(x)
+        f.reset()
+        b = f.process(x)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestAlternateConfigs:
+    def test_no_cic2_chain(self):
+        """A GC4016-style chain (no CIC2) still works end to end."""
+        cfg = DDCConfig(
+            input_rate_hz=69_333_000.0,
+            cic2_decimation=1,
+            cic2_order=0,
+            cic5_decimation=64,
+            fir_decimation=4,
+            fir_taps=63,
+            nco_frequency_hz=10e6,
+        )
+        ddc = DDC(cfg)
+        x = np.random.default_rng(0).normal(size=cfg.total_decimation * 8)
+        out = ddc.process(x)
+        assert len(out.baseband) == 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(cic2_decimation=0)
+
+    def test_nyquist_violation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DDCConfig(nco_frequency_hz=64e6)

@@ -1,0 +1,172 @@
+"""Tests for repro.fixedpoint.ops — vectorised saturate/wrap/quantize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (
+    Overflow,
+    QFormat,
+    Rounding,
+    add_sat,
+    from_fixed,
+    mul_full,
+    quantize,
+    requantize,
+    saturate,
+    sub_sat,
+    to_fixed,
+    wrap,
+)
+
+Q12 = QFormat(12, 0)
+Q12F = QFormat(12, 11)
+
+
+class TestSaturate:
+    def test_in_range_unchanged(self):
+        assert saturate(100, Q12) == 100
+
+    def test_clamps_high(self):
+        assert saturate(5000, Q12) == 2047
+
+    def test_clamps_low(self):
+        assert saturate(-5000, Q12) == -2048
+
+    def test_vector(self):
+        out = saturate(np.array([-9999, 0, 9999]), Q12)
+        assert list(out) == [-2048, 0, 2047]
+
+    def test_rejects_floats(self):
+        with pytest.raises(FixedPointError):
+            saturate(np.array([1.5]), Q12)
+
+
+class TestWrap:
+    def test_in_range_unchanged(self):
+        assert wrap(-2048, Q12) == -2048
+        assert wrap(2047, Q12) == 2047
+
+    def test_wraps_positive_overflow(self):
+        assert wrap(2048, Q12) == -2048
+
+    def test_wraps_negative_overflow(self):
+        assert wrap(-2049, Q12) == 2047
+
+    def test_full_period(self):
+        assert wrap(4096 + 5, Q12) == 5
+
+    @given(st.integers(-(2**40), 2**40), st.integers(2, 50))
+    def test_wrap_is_mod_2w(self, value, width):
+        fmt = QFormat(width, 0)
+        wrapped = int(wrap(value, fmt))
+        assert fmt.min_raw <= wrapped <= fmt.max_raw
+        assert (wrapped - value) % (1 << width) == 0
+
+    @given(st.integers(-(2**30), 2**30), st.integers(-(2**30), 2**30))
+    def test_wrap_add_homomorphic(self, a, b):
+        """Wrapping is a ring homomorphism: wrap(a)+wrap(b) ~ wrap(a+b)."""
+        fmt = QFormat(16, 0)
+        lhs = int(wrap(int(wrap(a, fmt)) + int(wrap(b, fmt)), fmt))
+        rhs = int(wrap(a + b, fmt))
+        assert lhs == rhs
+
+
+class TestQuantize:
+    def test_zero_shift_identity(self):
+        x = np.array([1, -7, 100])
+        assert list(quantize(x, 0)) == [1, -7, 100]
+
+    def test_truncate_floors(self):
+        assert quantize(np.array([7]), 2)[0] == 1
+        assert quantize(np.array([-7]), 2)[0] == -2  # floor(-1.75) = -2
+
+    def test_nearest_rounds(self):
+        assert quantize(np.array([6]), 2, Rounding.NEAREST)[0] == 2  # 1.5 -> 2
+        assert quantize(np.array([-6]), 2, Rounding.NEAREST)[0] == -2
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(FixedPointError):
+            quantize(np.array([1]), -1)
+
+    @given(st.integers(-(2**40), 2**40), st.integers(0, 20))
+    def test_truncate_equals_floor_division(self, value, shift):
+        out = int(quantize(np.array([value]), shift)[0])
+        assert out == value // (1 << shift)
+
+
+class TestConversions:
+    def test_roundtrip_exact_grid(self):
+        values = np.array([-1.0, -0.5, 0.0, 0.25, 0.5])
+        raw = to_fixed(values, Q12F)
+        back = from_fixed(raw, Q12F)
+        np.testing.assert_allclose(back, values, atol=Q12F.scale)
+
+    def test_saturates_out_of_range(self):
+        raw = to_fixed(np.array([2.0, -2.0]), Q12F)
+        assert raw[0] == Q12F.max_raw
+        assert raw[1] == Q12F.min_raw
+
+    def test_wrap_policy(self):
+        raw = to_fixed(np.array([1.0]), Q12F, overflow=Overflow.WRAP)
+        # 1.0 * 2**11 = 2048 wraps to -2048
+        assert raw[0] == -2048
+
+    @given(st.floats(-0.999, 0.999, allow_nan=False))
+    def test_quantisation_error_bounded(self, v):
+        raw = to_fixed(v, Q12F)
+        err = abs(float(from_fixed(raw, Q12F)) - v)
+        assert err <= Q12F.scale / 2 + 1e-12
+
+
+class TestArithmetic:
+    def test_add_sat(self):
+        assert add_sat(2000, 2000, Q12) == 2047
+
+    def test_sub_sat(self):
+        assert sub_sat(-2000, 2000, Q12) == -2048
+
+    def test_mul_full_width_guard(self):
+        with pytest.raises(FixedPointError):
+            mul_full(1, 1, QFormat(40, 0), QFormat(40, 0))
+
+    def test_mul_full_value(self):
+        out = mul_full(np.array([100]), np.array([-3]), Q12, Q12)
+        assert out[0] == -300
+
+    @given(
+        st.integers(-2048, 2047),
+        st.integers(-2048, 2047),
+    )
+    def test_add_sat_never_leaves_range(self, a, b):
+        out = int(add_sat(a, b, Q12))
+        assert Q12.min_raw <= out <= Q12.max_raw
+        # And equals the clamped true sum.
+        assert out == min(max(a + b, Q12.min_raw), Q12.max_raw)
+
+
+class TestRequantize:
+    def test_narrowing_truncates(self):
+        src = QFormat(24, 22)
+        dst = QFormat(12, 11)
+        raw = np.array([1 << 22])  # value 1.0
+        out = requantize(raw, src, dst)
+        assert out[0] == dst.max_raw  # 1.0 saturates in Q12.11
+
+    def test_widening_exact(self):
+        src = QFormat(12, 11)
+        dst = QFormat(24, 22)
+        raw = np.array([123])
+        out = requantize(raw, src, dst)
+        assert out[0] == 123 << 11
+
+    @given(st.integers(-2048, 2047))
+    def test_round_trip_widen_narrow(self, raw):
+        src = QFormat(12, 11)
+        wide = QFormat(24, 22)
+        there = requantize(np.array([raw]), src, wide)
+        back = requantize(there, wide, src)
+        assert back[0] == raw

@@ -1,0 +1,94 @@
+"""Tests for repro.fixedpoint.qformat."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import QFormat
+
+
+class TestQFormatConstruction:
+    def test_basic(self):
+        q = QFormat(12, 11)
+        assert q.width == 12
+        assert q.frac == 11
+
+    def test_min_max_raw(self):
+        q = QFormat(12, 11)
+        assert q.min_raw == -2048
+        assert q.max_raw == 2047
+
+    def test_scale(self):
+        assert QFormat(16, 15).scale == 2.0**-15
+
+    def test_min_max_value(self):
+        q = QFormat(8, 7)
+        assert q.min_value == -1.0
+        assert q.max_value == pytest.approx(1.0 - 2**-7)
+
+    def test_negative_frac_allowed(self):
+        q = QFormat(8, -2)
+        assert q.max_value == 127 * 4.0
+
+    def test_frac_beyond_width_allowed(self):
+        q = QFormat(4, 8)
+        assert q.max_value == 7 * 2.0**-8
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(0, 0)
+
+    def test_width_too_large_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(65, 0)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(12.0, 11)  # type: ignore[arg-type]
+
+    def test_str(self):
+        assert str(QFormat(12, 11)) == "Q12.11"
+
+
+class TestQFormatDerivation:
+    def test_contains_raw(self):
+        q = QFormat(4, 0)
+        assert q.contains_raw(7)
+        assert q.contains_raw(-8)
+        assert not q.contains_raw(8)
+        assert not q.contains_raw(-9)
+
+    def test_grow(self):
+        q = QFormat(12, 11).grow(int_bits=2, frac_bits=3)
+        assert q.width == 17
+        assert q.frac == 14
+
+    def test_grow_negative_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(12, 11).grow(int_bits=-1)
+
+    def test_for_product(self):
+        p = QFormat(12, 11).for_product(QFormat(12, 11))
+        assert p.width == 24
+        assert p.frac == 22
+
+    def test_for_sum_single(self):
+        q = QFormat(24, 22)
+        assert q.for_sum(1) == q
+
+    def test_for_sum_124_terms_gives_31_bits(self):
+        # The paper's FIR: 24-bit products, 124 taps -> 31-bit accumulator.
+        q = QFormat(24, 22).for_sum(124)
+        assert q.width == 31
+
+    def test_for_sum_invalid(self):
+        with pytest.raises(FixedPointError):
+            QFormat(8, 0).for_sum(0)
+
+    @given(st.integers(1, 64), st.integers(-8, 64))
+    def test_range_is_symmetric_ish(self, width, frac):
+        q = QFormat(width, frac)
+        assert q.min_raw == -q.max_raw - 1
+        assert q.contains_raw(0)

@@ -1,0 +1,277 @@
+"""Tests for the GPP ISA, assembler and CPU simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archs.gpp import CPU, assemble
+from repro.archs.gpp.isa import CYCLES, Instruction, Mnemonic, Operand
+from repro.errors import AssemblyError, ExecutionError
+
+
+def run(src: str, max_instructions: int = 100_000) -> CPU:
+    cpu = CPU(assemble(src))
+    cpu.run(max_instructions)
+    return cpu
+
+
+class TestAssembler:
+    def test_mov_immediate(self):
+        p = assemble("mov r0, #42\nhalt")
+        assert p.instructions[0].mnemonic is Mnemonic.MOV
+        assert p.instructions[0].op2.value == 42
+
+    def test_labels(self):
+        p = assemble("start:\n  b start")
+        assert p.labels["start"] == 0
+        assert p.instructions[0].target == 0
+
+    def test_label_same_line(self):
+        p = assemble("loop: add r0, r0, #1\n b loop")
+        assert p.labels["loop"] == 0
+
+    def test_comments_stripped(self):
+        p = assemble("mov r0, #1 ; comment\n@ whole line\nhalt")
+        assert len(p) == 2
+
+    def test_regions(self):
+        p = assemble(".region a\nmov r0, #1\n.region b\nhalt")
+        assert p.region_of(0) == "a"
+        assert p.region_of(1) == "b"
+
+    def test_region_default(self):
+        p = assemble("halt")
+        assert p.region_of(0) == "default"
+
+    def test_memory_forms(self):
+        p = assemble(
+            "ldr r0, [r1]\nldr r0, [r1, #4]\nldr r0, [r1, r2]\n"
+            "ldr r0, [r1], #1\nhalt"
+        )
+        assert not p.instructions[0].post_inc
+        assert p.instructions[1].op2.value == 4
+        assert p.instructions[2].op2.is_reg
+        assert p.instructions[3].post_inc
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r0")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("b nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\na:\nhalt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("mov r16, #1")
+
+    def test_bad_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r0, r1")
+
+    def test_hex_immediates(self):
+        p = assemble("mov r0, #0x10\nhalt")
+        assert p.instructions[0].op2.value == 16
+
+    def test_mla_form(self):
+        p = assemble("mla r0, r1, r2, r3\nhalt")
+        i = p.instructions[0]
+        assert (i.rd, i.rn, i.op2.value, i.ra) == (0, 1, 2, 3)
+
+
+class TestCPUArithmetic:
+    def test_mov_add_sub(self):
+        cpu = run("mov r0, #5\nadd r1, r0, #3\nsub r2, r1, r0\nhalt")
+        assert cpu.regs[1] == 8 and cpu.regs[2] == 3
+
+    def test_mvn(self):
+        cpu = run("mov r0, #0\nmvn r1, r0\nhalt")
+        assert cpu.regs[1] == -1
+
+    def test_rsb(self):
+        cpu = run("mov r0, #3\nrsb r1, r0, #10\nhalt")
+        assert cpu.regs[1] == 7
+
+    def test_mul_mla(self):
+        cpu = run("mov r0, #6\nmov r1, #7\nmul r2, r0, r1\n"
+                  "mla r3, r0, r1, r2\nhalt")
+        assert cpu.regs[2] == 42 and cpu.regs[3] == 84
+
+    def test_logic_ops(self):
+        cpu = run("mov r0, #12\nand r1, r0, #10\norr r2, r0, #3\n"
+                  "eor r3, r0, #5\nhalt")
+        assert cpu.regs[1] == 8 and cpu.regs[2] == 15 and cpu.regs[3] == 9
+
+    def test_shifts(self):
+        cpu = run("mov r0, #-8\nasr r1, r0, #1\nlsl r2, r0, #1\n"
+                  "mov r3, #8\nlsr r4, r3, #2\nhalt")
+        assert cpu.regs[1] == -4 and cpu.regs[2] == -16 and cpu.regs[4] == 2
+
+    def test_lsr_is_logical(self):
+        cpu = run("mov r0, #-1\nlsr r1, r0, #28\nhalt")
+        assert cpu.regs[1] == 15
+
+    def test_32bit_wraparound(self):
+        cpu = run(f"mov r0, #{2**31 - 1}\nadd r1, r0, #1\nhalt")
+        assert cpu.regs[1] == -(2**31)
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_add_matches_c_semantics(self, a, b):
+        cpu = run(f"mov r0, #{a}\nadd r1, r0, #{b}\nhalt")
+        want = (a + b) & 0xFFFFFFFF
+        want = want - 2**32 if want >= 2**31 else want
+        assert cpu.regs[1] == want
+
+
+class TestCPUControlFlow:
+    def test_loop_counts(self):
+        cpu = run("""
+            mov r0, #0
+            mov r1, #10
+        loop:
+            add r0, r0, #1
+            subs r1, r1, #1
+            bne loop
+            halt
+        """)
+        assert cpu.regs[0] == 10
+
+    def test_cmp_branches(self):
+        cpu = run("""
+            mov r0, #5
+            cmp r0, #5
+            beq equal
+            mov r1, #0
+            halt
+        equal:
+            mov r1, #1
+            halt
+        """)
+        assert cpu.regs[1] == 1
+
+    def test_signed_compare(self):
+        cpu = run("""
+            mov r0, #-3
+            cmp r0, #2
+            blt less
+            mov r1, #0
+            halt
+        less:
+            mov r1, #1
+            halt
+        """)
+        assert cpu.regs[1] == 1
+
+    def test_bge_ble_bgt(self):
+        cpu = run("""
+            mov r2, #0
+            mov r0, #4
+            cmp r0, #4
+            bge a
+            halt
+        a:  add r2, r2, #1
+            cmp r0, #4
+            ble b
+            halt
+        b:  add r2, r2, #1
+            cmp r0, #3
+            bgt c
+            halt
+        c:  add r2, r2, #1
+            halt
+        """)
+        assert cpu.regs[2] == 3
+
+    def test_runaway_detected(self):
+        cpu = CPU(assemble("loop: b loop"))
+        with pytest.raises(ExecutionError):
+            cpu.run(max_instructions=100)
+
+    def test_pc_out_of_range(self):
+        cpu = CPU(assemble("mov r0, #1"))  # no halt
+        with pytest.raises(ExecutionError):
+            cpu.run()
+
+    def test_step_after_halt(self):
+        cpu = run("halt")
+        with pytest.raises(ExecutionError):
+            cpu.step()
+
+
+class TestCPUMemory:
+    def test_store_load(self):
+        cpu = run("""
+            mov r0, #123
+            mov r1, #100
+            str r0, [r1]
+            ldr r2, [r1]
+            halt
+        """)
+        assert cpu.regs[2] == 123
+
+    def test_offset_addressing(self):
+        cpu = run("""
+            mov r0, #7
+            mov r1, #200
+            str r0, [r1, #5]
+            ldr r2, [r1, #5]
+            halt
+        """)
+        assert cpu.regs[2] == 7
+        assert cpu.read_memory(205) == 7
+
+    def test_register_offset(self):
+        cpu = CPU(assemble("ldr r0, [r1, r2]\nhalt"))
+        cpu.load_memory(30, [99])
+        cpu.regs[1] = 20
+        cpu.regs[2] = 10
+        cpu.run()
+        assert cpu.regs[0] == 99
+
+    def test_post_increment(self):
+        cpu = CPU(assemble("ldr r0, [r1], #1\nldr r2, [r1], #1\nhalt"))
+        cpu.load_memory(50, [5, 6])
+        cpu.regs[1] = 50
+        cpu.run()
+        assert cpu.regs[0] == 5 and cpu.regs[2] == 6 and cpu.regs[1] == 52
+
+    def test_unwritten_memory_is_zero(self):
+        cpu = run("mov r1, #999\nldr r0, [r1]\nhalt")
+        assert cpu.regs[0] == 0
+
+
+class TestCycleAccounting:
+    def test_data_op_cost(self):
+        cpu = run("mov r0, #1\nhalt")
+        assert cpu.stats.cycles == CYCLES["data"] + CYCLES["halt"]
+
+    def test_mul_costs_more(self):
+        c1 = run("mov r0, #2\nmul r1, r0, r0\nhalt").stats.cycles
+        c2 = run("mov r0, #2\nadd r1, r0, r0\nhalt").stats.cycles
+        assert c1 - c2 == CYCLES["mul"] - CYCLES["data"]
+
+    def test_branch_taken_vs_not(self):
+        taken = run("mov r0, #0\ncmp r0, #0\nbeq t\nt: halt").stats.cycles
+        not_taken = run("mov r0, #1\ncmp r0, #0\nbeq t\nt: halt").stats.cycles
+        assert taken - not_taken == CYCLES["branch_taken"] - CYCLES["branch_not_taken"]
+
+    def test_region_attribution(self):
+        cpu = run(".region a\nmov r0, #1\n.region b\nmov r1, #2\nhalt")
+        assert cpu.stats.region_cycles["a"] == CYCLES["data"]
+        assert cpu.stats.region_cycles["b"] == CYCLES["data"] + CYCLES["halt"]
+
+    def test_cpi_bounds(self):
+        cpu = run("""
+            mov r1, #100
+        loop:
+            subs r1, r1, #1
+            bne loop
+            halt
+        """)
+        assert 1.0 <= cpu.stats.cpi <= 3.0

@@ -1,0 +1,97 @@
+"""Tests for the paper-regeneration module (tables and figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.paper import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure8,
+    figure9,
+    section7_scenarios,
+    table1,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+class TestTables:
+    def test_table1_matches_published_exactly(self):
+        t = table1()
+        assert t.rows == t.published
+
+    def test_table2_has_five_parameters(self):
+        assert len(table2().rows) == 5
+
+    def test_table4_two_devices(self):
+        t = table4()
+        assert [r[0] for r in t.rows] == ["EP1C3T100C6", "EP2C5T144C6"]
+
+    def test_table5_static_row_constant(self):
+        t = table5()
+        statics = set(t.rows[2][1:])
+        assert statics == {"48.0 mW"}
+
+    def test_table6_five_parts(self):
+        t = table6()
+        assert len(t.rows) == 5
+
+    def test_table7_six_solutions(self):
+        t = table7()
+        assert len(t.rows) == 6
+
+    def test_render_smoke(self):
+        for t in (table1(), table2(), table4(), table5(), table6()):
+            text = t.render()
+            assert t.name.split(":")[0] in text
+            assert len(text.splitlines()) >= 3
+
+
+class TestFigures:
+    def test_figure1_payload_is_reference_config(self):
+        fig = figure1()
+        assert fig.payload.total_decimation == 2688
+
+    def test_figure2_payload_is_cic2(self):
+        fig = figure2()
+        assert fig.payload.order == 2 and fig.payload.decimation == 16
+
+    def test_figure3_payload_decimates_by_5(self):
+        fig = figure3()
+        assert fig.payload.decimation == 5
+
+    def test_figure4_payload_is_gsm_example(self):
+        fig = figure4()
+        assert fig.payload.total_decimation == 256
+
+    def test_figure8_op_is_mac(self):
+        from repro.archs.montium.alu import Level2Fn
+
+        assert figure8().payload.level2 is Level2Fn.MAC
+
+    def test_figure9_default_40_cycles(self):
+        fig = figure9()
+        header = fig.text.splitlines()[0]
+        assert len(header.split()[-1]) == 40
+
+    def test_renders(self):
+        for fig in (figure1(), figure2(), figure3(), figure8(), figure9()):
+            assert fig.name in fig.render()
+
+
+class TestScenarios:
+    def test_section7_conclusions(self):
+        res = section7_scenarios()
+        assert res.static_winner == "Customised Low Power DDC"
+        assert res.reconfigurable_winner == "Altera Cyclone II"
+        assert res.winning_regions[-1][2] == "Customised Low Power DDC"
+
+    def test_render(self):
+        text = section7_scenarios().render()
+        assert "static" in text and "reconfigurable" in text

@@ -1,0 +1,238 @@
+"""Tests for stimuli generators, quality metrics and the streaming protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp.chain import Chain
+from repro.dsp.cic import CICDecimator
+from repro.dsp.metrics import (
+    enob,
+    rms_error,
+    sfdr_db,
+    sinad_db,
+    snr_db,
+    tone_power_db,
+)
+from repro.dsp.signals import (
+    chirp,
+    complex_tone,
+    drm_like_ofdm,
+    gsm_like_burst,
+    multi_tone,
+    quantize_to_adc,
+    tone,
+    white_noise,
+)
+from repro.dsp.streaming import FnBlock, Tap, stream_in_blocks
+from repro.errors import ConfigurationError
+
+FS = 64_512_000.0
+
+
+class TestSignals:
+    def test_tone_amplitude(self):
+        x = tone(1000, 1e6, FS, amplitude=0.5)
+        assert np.abs(x).max() <= 0.5 + 1e-12
+
+    def test_tone_frequency(self):
+        n = 4096
+        f = FS / 64
+        x = tone(n, f, FS)
+        spec = np.abs(np.fft.rfft(x))
+        assert np.argmax(spec) == n // 64
+
+    def test_complex_tone_unit_modulus(self):
+        z = complex_tone(512, 1e6, FS)
+        np.testing.assert_allclose(np.abs(z), 1.0)
+
+    def test_multi_tone_superposition(self):
+        x = multi_tone(256, [1e6, 2e6], FS, [0.5, 0.25])
+        y = tone(256, 1e6, FS, 0.5) + tone(256, 2e6, FS, 0.25)
+        np.testing.assert_allclose(x, y)
+
+    def test_multi_tone_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            multi_tone(16, [1e6], FS, [0.5, 0.5])
+
+    def test_chirp_sweeps(self):
+        x = chirp(1 << 14, 1e6, 10e6, FS)
+        # Energy at the end of the block sits at higher frequency than the
+        # beginning: compare zero-crossing density.
+        first = np.sum(np.abs(np.diff(np.sign(x[:2048]))) > 0)
+        last = np.sum(np.abs(np.diff(np.sign(x[-2048:]))) > 0)
+        assert last > first * 2
+
+    def test_white_noise_rms(self):
+        x = white_noise(100_000, rms=0.25, seed=1)
+        assert np.std(x) == pytest.approx(0.25, rel=0.05)
+
+    def test_white_noise_reproducible(self):
+        np.testing.assert_allclose(white_noise(64, seed=3), white_noise(64, seed=3))
+
+    def test_drm_is_real_and_in_band(self):
+        x = drm_like_ofdm(1 << 14, FS, 10e6, seed=7)
+        assert np.isrealobj(x)
+        spec = np.abs(np.fft.rfft(x * np.hanning(len(x))))
+        freqs = np.fft.rfftfreq(len(x), 1 / FS)
+        peak = freqs[np.argmax(spec)]
+        assert abs(peak - 10e6) < 20e3
+
+    def test_drm_bandwidth(self):
+        n = 1 << 15
+        x = drm_like_ofdm(n, FS, 10e6, bandwidth_hz=10_000.0, seed=7)
+        spec = np.abs(np.fft.rfft(x * np.hanning(n))) ** 2
+        freqs = np.fft.rfftfreq(n, 1 / FS)
+        in_band = spec[(freqs > 10e6 - 8e3) & (freqs < 10e6 + 8e3)].sum()
+        out_band = spec[(freqs > 10e6 + 50e3) | (freqs < 10e6 - 50e3)].sum()
+        assert in_band > 10 * out_band
+
+    def test_drm_rms(self):
+        x = drm_like_ofdm(1 << 13, FS, 10e6, rms=0.2, seed=1)
+        assert np.sqrt(np.mean(x**2)) == pytest.approx(0.2, rel=1e-6)
+
+    def test_gsm_constant_envelope_at_carrier(self):
+        x = gsm_like_burst(1 << 13, FS, 10e6, seed=2)
+        assert np.abs(x).max() <= 0.5 + 1e-9
+
+    def test_gsm_energy_near_carrier(self):
+        n = 1 << 15
+        x = gsm_like_burst(n, FS, 10e6, seed=2)
+        spec = np.abs(np.fft.rfft(x * np.hanning(n))) ** 2
+        freqs = np.fft.rfftfreq(n, 1 / FS)
+        near = spec[np.abs(freqs - 10e6) < 400e3].sum()
+        assert near > 0.8 * spec.sum()
+
+    def test_carrier_validation(self):
+        with pytest.raises(ConfigurationError):
+            drm_like_ofdm(128, FS, FS)
+        with pytest.raises(ConfigurationError):
+            gsm_like_burst(128, FS, -1.0)
+
+    def test_quantize_to_adc_range(self):
+        x = np.linspace(-2, 2, 100)
+        raw = quantize_to_adc(x, 12)
+        assert raw.max() == 2047 and raw.min() == -2048
+
+    def test_quantize_to_adc_monotone(self):
+        x = np.linspace(-0.9, 0.9, 100)
+        raw = quantize_to_adc(x, 12)
+        assert (np.diff(raw) >= 0).all()
+
+    def test_quantize_bits_validation(self):
+        with pytest.raises(ConfigurationError):
+            quantize_to_adc(np.zeros(4), 1)
+
+
+class TestMetrics:
+    def test_snr_of_clean_tone_is_high(self):
+        x = tone(1 << 13, FS / 64, FS)
+        assert snr_db(x) > 100
+
+    def test_snr_decreases_with_noise(self):
+        x = tone(1 << 13, FS / 64, FS)
+        noisy = x + white_noise(len(x), rms=0.01, seed=0)
+        assert snr_db(noisy) < snr_db(x)
+        assert 25 < snr_db(noisy) < 60
+
+    def test_enob_of_quantised_tone(self):
+        """An n-bit quantised full-scale tone shows ~n effective bits."""
+        x = tone(1 << 14, FS * 0.1234, FS, amplitude=0.99)
+        raw = quantize_to_adc(x, 10)
+        measured = enob(raw.astype(float) / 512)
+        assert 8.5 < measured < 11
+
+    def test_sfdr_clean_tone(self):
+        x = tone(1 << 13, FS / 64, FS)
+        assert sfdr_db(x) > 100
+
+    def test_sfdr_detects_spur(self):
+        x = tone(1 << 13, FS / 64, FS) + tone(1 << 13, FS / 8, FS, 1e-3)
+        assert 50 < sfdr_db(x) < 70
+
+    def test_tone_power_relative(self):
+        x = tone(1 << 12, FS / 64, FS)
+        assert tone_power_db(x, rel=True) > -1.0
+
+    def test_rms_error(self):
+        a = np.ones(10)
+        b = np.zeros(10)
+        assert rms_error(a, b) == pytest.approx(1.0)
+
+    def test_rms_error_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            rms_error(np.ones(3), np.ones(4))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            snr_db(np.zeros(4))
+
+
+class TestStreaming:
+    def test_fnblock_wraps(self):
+        double = FnBlock(lambda x: 2 * x, "double")
+        np.testing.assert_allclose(double.process(np.ones(4)), 2 * np.ones(4))
+
+    def test_fnblock_rejects_non_callable(self):
+        with pytest.raises(ConfigurationError):
+            FnBlock(42)  # type: ignore[arg-type]
+
+    def test_tap_records(self):
+        tap = Tap()
+        tap.process(np.array([1.0, 2.0]))
+        tap.process(np.array([3.0]))
+        np.testing.assert_allclose(tap.data, [1, 2, 3])
+
+    def test_tap_reset(self):
+        tap = Tap()
+        tap.process(np.ones(4))
+        tap.reset()
+        assert tap.data.size == 0
+
+    def test_stream_in_blocks_empty(self):
+        out = stream_in_blocks(FnBlock(lambda x: x), np.array([]), 4)
+        assert out.size == 0
+
+    def test_stream_in_blocks_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            stream_in_blocks(FnBlock(lambda x: x), np.ones(4), 0)
+
+
+class TestChain:
+    def test_chain_composition(self, rng):
+        x = rng.normal(size=16 * 21 * 4)
+        chain = Chain([CICDecimator(2, 16), CICDecimator(5, 21)])
+        direct = CICDecimator(5, 21).process(CICDecimator(2, 16).process(x))
+        np.testing.assert_allclose(chain.process(x), direct)
+
+    def test_chain_with_tap(self, rng):
+        tap = Tap("after-cic2")
+        chain = Chain([CICDecimator(2, 16), tap, CICDecimator(5, 21)])
+        x = rng.normal(size=16 * 21 * 2)
+        chain.process(x)
+        assert len(tap.data) == len(x) // 16
+
+    def test_chain_reset(self, rng):
+        chain = Chain([CICDecimator(2, 16)])
+        x = rng.normal(size=160)
+        a = chain.process(x)
+        chain.reset()
+        b = chain.process(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Chain([])
+
+    def test_non_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Chain([42])  # type: ignore[list-item]
+
+    def test_len_iter_getitem(self):
+        blocks = [CICDecimator(1, 2), CICDecimator(1, 3)]
+        chain = Chain(blocks)
+        assert len(chain) == 2
+        assert list(chain) == blocks
+        assert chain[0] is blocks[0]
