@@ -1,0 +1,75 @@
+"""Throughput benches of the fast-execution engine.
+
+Complements ``test_bench_dsp_throughput.py`` with the new hot paths: the
+compiled ``Simulator.step`` loop and the block-mode RTL DDC.  The
+persistent before/after trajectory lives in ``BENCH_dsp.json`` (see
+``benchmarks/README.md``); these pytest-benchmark entries give per-PR
+relative numbers on the same paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import REFERENCE_DDC
+from repro.archs.fpga import RTLDDC
+from repro.bench.runner import _build_step_sim
+from repro.dsp.signals import quantize_to_adc, tone
+
+N_BLOCK = 2688 * 32   # the 86k-sample reference bench input
+N_CYCLE = 2688 * 2    # cycle-accurate oracle is ~70x slower: keep it short
+
+
+@pytest.fixture(scope="module")
+def adc_block():
+    cfg = REFERENCE_DDC
+    x = tone(N_BLOCK, cfg.nco_frequency_hz + 5e3, cfg.input_rate_hz, 0.8)
+    return quantize_to_adc(x, 12)
+
+
+def test_bench_sim_step_compiled(benchmark):
+    sim = _build_step_sim()
+    sim.compile()
+    benchmark(sim.step, 1000)
+
+
+def test_bench_sim_step_no_activity(benchmark):
+    sim = _build_step_sim()
+    sim.activity = False
+    sim.compile()
+    benchmark(sim.step, 1000)
+
+
+def test_bench_rtl_ddc_cycle(benchmark, adc_block):
+    rtl = RTLDDC()
+    x = adc_block[:N_CYCLE]
+
+    def run():
+        rtl.reset()
+        return rtl.run(x)
+
+    res = benchmark(run)
+    assert len(res.i) >= 1
+
+
+def test_bench_rtl_ddc_block(benchmark, adc_block):
+    rtl = RTLDDC()
+
+    def run():
+        rtl.reset()
+        return rtl.run(adc_block, mode="block")
+
+    res = benchmark(run)
+    assert len(res.i) >= 1
+
+
+def test_bench_rtl_ddc_block_no_activity(benchmark, adc_block):
+    rtl = RTLDDC()
+
+    def run():
+        rtl.reset()
+        return rtl.run(adc_block, mode="block", activity=False)
+
+    res = benchmark(run)
+    assert len(res.i) >= 1

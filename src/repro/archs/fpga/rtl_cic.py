@@ -15,8 +15,10 @@ output are exposed on probe wires so toggle activity is observable.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...errors import ConfigurationError
-from ...fixedpoint import QFormat, cic_bit_growth
+from ...fixedpoint import QFormat, cic_bit_growth, wrap
 from ...simkernel import Component, Wire
 
 
@@ -70,6 +72,68 @@ class RTLCIC(Component):
         self._int = [0] * self.order
         self._comb_delay = [0] * self.order
         self._count = 0
+
+    # ---------------------------------------------------------- block mode
+    def process_block(
+        self, x: np.ndarray, internals: dict[str, np.ndarray] | None = None
+    ) -> np.ndarray:
+        """Vectorised equivalent of ``tick`` over a valid sample burst.
+
+        Delegates the arithmetic to the bit-true numpy model
+        (:class:`repro.dsp.cic.FixedCICDecimator`), syncing the component's
+        integrator/comb/decimator state into it and back out, so block and
+        cycle processing can be interleaved freely on one instance.  When
+        ``internals`` is a dict, the driven streams of the ``int_top`` and
+        ``comb_out`` probes are stored in it.
+        """
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.integer):
+            raise ConfigurationError("CIC block input must be integers")
+        x = x.astype(np.int64, copy=False)
+        if x.size == 0:
+            if internals is not None:
+                empty = np.empty(0, dtype=np.int64)
+                internals.update(int_top=empty, comb_out=empty)
+            return np.empty(0, dtype=np.int64)
+        if internals is not None:
+            self._block_internals(x, internals)
+
+        blk = self._block_model()
+        blk._int_state[:] = self._int
+        blk._comb_state[:, 0] = self._comb_delay
+        blk._phase = self._count
+        y = blk.process(x)
+        self._int = [int(v) for v in blk._int_state]
+        self._comb_delay = [int(v) for v in blk._comb_state[:, 0]]
+        self._count = blk._phase
+        return y
+
+    def _block_model(self):
+        """Lazily built FixedCICDecimator mirror (shared, state-synced)."""
+        blk = getattr(self, "_block", None)
+        if blk is None:
+            from ...dsp.cic import FixedCICDecimator
+
+            blk = FixedCICDecimator(
+                self.order, self.decimation, input_width=self.data_width
+            )
+            self._block = blk
+        return blk
+
+    def _block_internals(self, x: np.ndarray, internals: dict) -> None:
+        """Driven-value streams of the probe wires for this input burst."""
+        fmt = QFormat(self.internal_width, 0)
+        with np.errstate(over="ignore"):
+            y = x
+            for s in range(self.order):
+                y = wrap(np.cumsum(y) + self._int[s], fmt)
+            internals["int_top"] = y
+            first = (-self._count) % self.decimation
+            z = y[first :: self.decimation]
+            for s in range(self.order):
+                with_hist = np.concatenate(([self._comb_delay[s]], z))
+                z = wrap(with_hist[1:] - with_hist[:-1], fmt)
+            internals["comb_out"] = z
 
     def _wrap(self, v: int) -> int:
         v &= self._mask

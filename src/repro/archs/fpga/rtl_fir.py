@@ -61,6 +61,7 @@ class RTLPolyphaseFIR(Component):
         self.add_output("acc", acc_probe)
         self.add_output("mac_addr", addr_probe)
         self.rom = [int(v) for v in taps_raw]
+        self._taps_arr = np.asarray(self.rom, dtype=np.int64)
         self.taps = len(self.rom)
         self.decimation = decimation
         self.data_width = data_width
@@ -83,6 +84,90 @@ class RTLPolyphaseFIR(Component):
     def cycles_per_output(self) -> int:
         """Clock cycles from trigger to valid output (taps + 1)."""
         return self.taps + 1
+
+    # ---------------------------------------------------------- block mode
+    def _ram_chronological(self) -> np.ndarray:
+        """Sample ring contents ordered oldest to newest."""
+        widx, taps = self._widx, self.taps
+        ram = np.asarray(self.ram, dtype=np.int64)
+        return np.concatenate([ram[widx:], ram[:widx]])
+
+    def process_block(
+        self, x: np.ndarray, internals: dict[str, np.ndarray] | None = None
+    ) -> np.ndarray:
+        """Vectorised equivalent of ``tick`` over a valid sample burst.
+
+        Delegates to the bit-true numpy model
+        (:class:`repro.dsp.fir.FixedPolyphaseDecimator`), syncing the ring
+        RAM and decimator phase into it and back, so block and cycle
+        processing interleave freely.  Must not be called while the
+        sequential MAC loop is mid-flight.  When ``internals`` is a dict,
+        the driven streams of the ``acc`` and ``mac_addr`` probes are
+        stored in it.
+        """
+        if self._busy:
+            raise SimulationError(
+                f"{self.name}: process_block while the MAC loop is busy"
+            )
+        x = np.asarray(x)
+        if not np.issubdtype(x.dtype, np.integer):
+            raise ConfigurationError("FIR block input must be integers")
+        x = x.astype(np.int64, copy=False)
+        if x.size == 0:
+            if internals is not None:
+                empty = np.empty(0, dtype=np.int64)
+                internals.update(acc=empty, mac_addr=empty)
+            return np.empty(0, dtype=np.int64)
+
+        ordered = self._ram_chronological()
+        if internals is not None:
+            self._block_internals(x, ordered, internals)
+
+        blk = self._block_model()
+        blk._hist = ordered[1:].copy() if self.taps > 1 else ordered[:0]
+        blk._offset = self._count
+        y = blk.process(x)
+
+        full = np.concatenate([ordered, x])
+        self.ram = [int(v) for v in full[-self.taps :]]
+        self._widx = 0
+        self._count = blk._offset
+        return y
+
+    def _block_model(self):
+        """Lazily built FixedPolyphaseDecimator mirror (state-synced)."""
+        blk = getattr(self, "_block", None)
+        if blk is None:
+            from ...dsp.fir import FixedPolyphaseDecimator
+
+            blk = FixedPolyphaseDecimator(
+                self._taps_arr,
+                self.decimation,
+                data_width=self.data_width,
+                coeff_width=self.data_width,
+                output_shift=self.output_shift,
+            )
+            self._block = blk
+        return blk
+
+    def _block_internals(
+        self, x: np.ndarray, ordered: np.ndarray, internals: dict
+    ) -> None:
+        """Driven-value streams of the MAC probes for this input burst."""
+        hist = ordered[1:] if self.taps > 1 else ordered[:0]
+        buf = np.concatenate([hist, x])
+        first = (-self._count) % self.decimation
+        pos = np.arange(first, x.size, self.decimation)
+        if pos.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            internals.update(acc=empty, mac_addr=empty)
+            return
+        idx = pos[:, None] + hist.size - np.arange(self.taps)[None, :]
+        prod = buf[idx] * self._taps_arr[None, :]
+        internals["acc"] = np.cumsum(prod, axis=1).ravel()
+        internals["mac_addr"] = np.tile(
+            np.arange(self.taps, dtype=np.int64), pos.size
+        )
 
     def tick(self, cycle: int) -> None:
         out_valid = 0

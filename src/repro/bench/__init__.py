@@ -1,0 +1,28 @@
+"""Persistent throughput benchmark harness.
+
+The paper's product is a quantitative architecture comparison, so the
+repository's own execution speed is a tracked artefact: ``BENCH_dsp.json``
+at the repo root records samples-per-second for every stage of the
+bit-true stack (NCO, CIC, FIR, FixedDDC, gold DDC, the RTL DDC in both
+cycle-accurate and block mode, the GPP instruction-set simulation, and the
+``Simulator.step`` microkernel).  Future PRs regenerate the file with
+
+    PYTHONPATH=src python -m repro.bench
+
+and CI guards the RTL-DDC block throughput against >30 % regressions with
+``python -m repro.bench --quick --check BENCH_dsp.json``.
+
+See ``benchmarks/README.md`` for the JSON schema and usage guide.
+"""
+
+from .report import check_regression, load_report, write_report
+from .runner import BenchResult, run_dsp_suite, time_fn
+
+__all__ = [
+    "BenchResult",
+    "run_dsp_suite",
+    "time_fn",
+    "write_report",
+    "load_report",
+    "check_regression",
+]

@@ -1,0 +1,82 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.bench``.
+
+Runs the DSP/RTL/GPP throughput suite and writes ``BENCH_dsp.json``.
+With ``--check`` it instead compares the run against a committed report
+and exits non-zero on regression — the CI smoke guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ConfigurationError
+from .report import check_regression, load_report, write_report
+from .runner import run_dsp_suite
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Throughput benchmark harness (writes BENCH_dsp.json).",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller inputs / fewer repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_dsp.json",
+        help="report path to write (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare against a committed report instead of writing; "
+        "exits 1 if RTL-DDC throughput regressed beyond --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="allowed fractional slowdown in --check mode "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    committed = None
+    if args.check:
+        # Validate the baseline before spending minutes measuring.
+        try:
+            committed = load_report(args.check)
+        except (OSError, ValueError, ConfigurationError) as exc:
+            print(f"cannot use baseline {args.check}: {exc}", file=sys.stderr)
+            return 2
+
+    results = run_dsp_suite(quick=args.quick, progress=lambda m: print(m, flush=True))
+
+    print()
+    for name, r in sorted(results.items()):
+        line = f"{name:>10}: {r.samples_per_sec:>14,.0f} samples/s"
+        if r.baseline_samples_per_sec:
+            line += (
+                f"   (baseline {r.baseline_samples_per_sec:>12,.0f},"
+                f" speedup {r.speedup:.1f}x)"
+            )
+        print(line)
+
+    if committed is not None:
+        failures = check_regression(
+            results, committed, max_regression=args.max_regression
+        )
+        if failures:
+            print("\nREGRESSION CHECK FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"\nregression check against {args.check}: OK")
+        return 0
+
+    write_report(args.output, results, quick=args.quick)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Frozen seed-revision hot loops, kept only to anchor before/after pairs.
+
+The live :mod:`repro.dsp` kernels evolve PR over PR; these functions are
+verbatim copies of the *seed commit's* ``process`` bodies (redundant
+``astype`` copies, history-buffer copies, no in-place integrator adds) so
+``BENCH_dsp.json`` can report a measured "before" next to every "after"
+even once the original code is long gone.  They operate on a live filter
+instance's state and must never be used outside the benchmark harness —
+they are baselines, not supported implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsp.cic import FixedCICDecimator
+from ..dsp.fir import FixedPolyphaseDecimator
+from ..fixedpoint import QFormat, quantize, saturate, wrap
+from ..fixedpoint.ops import Rounding
+
+
+def seed_fixed_cic_process(cic: FixedCICDecimator, x: np.ndarray) -> np.ndarray:
+    """The seed's FixedCICDecimator.process (out-of-place integrator adds)."""
+    x = np.asarray(x)
+    x = x.astype(np.int64, copy=False)
+    if x.size == 0:
+        return np.empty(0, dtype=np.int64)
+    in_fmt = QFormat(cic.input_width, 0)
+    assert in_fmt.min_raw <= int(x.min()) and int(x.max()) <= in_fmt.max_raw
+    internal = cic.internal_format
+    with np.errstate(over="ignore"):
+        y = x
+        for s in range(cic.order):
+            y = np.cumsum(y)
+            y = y + cic._int_state[s]
+            y = wrap(y, internal)
+            cic._int_state[s] = y[-1]
+
+        first = (-cic._phase) % cic.decimation
+        kept = y[first :: cic.decimation]
+        cic._phase = (cic._phase + len(x)) % cic.decimation
+
+        z = kept
+        for s in range(cic.order):
+            with_hist = np.concatenate([cic._comb_state[s], z])
+            out = with_hist[cic.diff_delay :] - with_hist[: -cic.diff_delay]
+            out = wrap(out, internal)
+            if len(with_hist) >= cic.diff_delay:
+                cic._comb_state[s] = with_hist[
+                    len(with_hist) - cic.diff_delay :
+                ]
+            z = out
+    return quantize(z, cic.truncation_shift, Rounding.TRUNCATE)
+
+
+def seed_fixed_fir_process(
+    fir: FixedPolyphaseDecimator, x: np.ndarray
+) -> np.ndarray:
+    """The seed's FixedPolyphaseDecimator.process (copying astype + hist)."""
+    x = np.asarray(x)
+    x = x.astype(np.int64)  # the seed always copied here
+    if x.size == 0:
+        return np.empty(0, dtype=np.int64)
+    dfmt = QFormat(fir.data_width, 0)
+    assert dfmt.min_raw <= int(x.min()) and int(x.max()) <= dfmt.max_raw
+
+    buf = np.concatenate([fir._hist, x])
+    hist_len = len(fir._hist)
+    first_out = (-fir._offset) % fir.decimation
+    out_positions = np.arange(first_out, len(x), fir.decimation)
+    n_taps = len(fir.taps_raw)
+    if out_positions.size:
+        idx = out_positions[:, None] + hist_len - np.arange(n_taps)[None, :]
+        windows = buf[idx]
+        acc = windows @ fir.taps_raw
+        acc = saturate(acc, fir.accumulator_format)
+        y = quantize(acc, fir.output_shift, Rounding.TRUNCATE)
+        y = saturate(y, fir.output_format)
+    else:
+        y = np.empty(0, dtype=np.int64)
+
+    fir._offset = (fir._offset + len(x)) % fir.decimation
+    if n_taps > 1:
+        fir._hist = buf[len(buf) - (n_taps - 1) :].copy()  # seed always copied
+    else:
+        fir._hist = np.empty(0, dtype=np.int64)
+    return y

@@ -241,8 +241,8 @@ class FixedCICDecimator:
         with np.errstate(over="ignore"):
             y = x
             for s in range(self.order):
-                y = np.cumsum(y)
-                y = y + self._int_state[s]
+                y = np.cumsum(y)  # always a fresh buffer: in-place ops below are safe
+                y += self._int_state[s]
                 y = wrap(y, internal)
                 self._int_state[s] = y[-1]
 

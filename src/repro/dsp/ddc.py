@@ -249,7 +249,7 @@ class FixedDDC:
         x_raw = np.asarray(x_raw)
         if not np.issubdtype(x_raw.dtype, np.integer):
             raise ConfigurationError("FixedDDC input must be raw integers")
-        x_raw = x_raw.astype(np.int64)
+        x_raw = x_raw.astype(np.int64, copy=False)
         in_fmt = QFormat(self.data_width, 0)
         if x_raw.size and (
             int(x_raw.max()) > in_fmt.max_raw or int(x_raw.min()) < in_fmt.min_raw

@@ -230,7 +230,7 @@ class FixedPolyphaseDecimator:
         x = np.asarray(x)
         if not np.issubdtype(x.dtype, np.integer):
             raise ConfigurationError("input must be integer raw values")
-        x = x.astype(np.int64)
+        x = x.astype(np.int64, copy=False)
         if x.size == 0:
             return np.empty(0, dtype=np.int64)
         dfmt = QFormat(self.data_width, 0)
@@ -257,7 +257,11 @@ class FixedPolyphaseDecimator:
 
         self._offset = (self._offset + len(x)) % self.decimation
         if n_taps > 1:
-            self._hist = buf[len(buf) - (n_taps - 1) :].copy()
+            tail = buf[len(buf) - (n_taps - 1) :]
+            # buf is private (np.concatenate always allocates), so the tail
+            # view is safe to keep; copy only when holding it would pin a
+            # much larger block than the history itself.
+            self._hist = tail if len(buf) <= 4 * (n_taps - 1) else tail.copy()
         else:
             self._hist = np.empty(0, dtype=np.int64)
         return y

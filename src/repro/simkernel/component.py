@@ -20,6 +20,10 @@ from .wire import Wire
 class Component(ABC):
     """Base class for synchronous logic blocks."""
 
+    # Subclasses that declare their own __slots__ stay dict-free; ones that
+    # don't simply regain a __dict__ for their extra attributes.
+    __slots__ = ("name", "_inputs", "_outputs")
+
     def __init__(self, name: str) -> None:
         if not name:
             raise SimulationError("component name must be non-empty")

@@ -9,6 +9,22 @@ components.  :meth:`Simulator.step` advances one clock edge in two phases:
 
 The kernel is deliberately small: all behaviour lives in components, all
 observability in wires and traces.
+
+Execution speed
+---------------
+``step`` is the hot loop of every RTL run (one Python iteration per clock
+edge), so the simulator *compiles* itself before running: the component
+``tick`` and wire ``commit`` bound methods are snapshotted into flat tuples
+(:meth:`compile`), removing all per-cycle dict iteration and attribute
+lookups.  The compiled plan is built lazily on first ``step`` and
+invalidated automatically whenever a wire, component or trace is added, so
+callers never have to manage it — but may call :meth:`compile` explicitly
+after assembly to pay the (tiny) cost up front.
+
+Activity tracing is opt-out-able: constructing with ``activity=False``
+commits wires through a latching-only fast path that skips toggle counting
+entirely.  Only power-model runs (the paper's Table 5) consume toggle
+statistics; functional and throughput runs should switch it off.
 """
 
 from __future__ import annotations
@@ -25,11 +41,13 @@ from .wire import Wire
 class Simulator:
     """Synchronous single-clock simulator."""
 
-    def __init__(self, clock: ClockDomain) -> None:
+    def __init__(self, clock: ClockDomain, activity: bool = True) -> None:
         self.clock = clock
         self._wires: dict[str, Wire] = {}
         self._components: dict[str, Component] = {}
         self._traces: list[WaveTrace] = []
+        self._activity = bool(activity)
+        self._plan: tuple[tuple, tuple, tuple] | None = None
         self.cycle = 0
 
     # ------------------------------------------------------------- assembly
@@ -39,6 +57,7 @@ class Simulator:
             raise SimulationError(f"duplicate wire name {name!r}")
         w = Wire(name, width, reset_value)
         self._wires[name] = w
+        self._plan = None
         return w
 
     def add(self, component: Component) -> Component:
@@ -46,11 +65,13 @@ class Simulator:
         if component.name in self._components:
             raise SimulationError(f"duplicate component name {component.name!r}")
         self._components[component.name] = component
+        self._plan = None
         return component
 
     def attach_trace(self, trace: WaveTrace) -> WaveTrace:
         """Record the given trace every cycle."""
         self._traces.append(trace)
+        self._plan = None
         return trace
 
     @property
@@ -63,19 +84,81 @@ class Simulator:
         """Registered components by name."""
         return dict(self._components)
 
+    @property
+    def activity(self) -> bool:
+        """Whether wire toggle activity is being accumulated."""
+        return self._activity
+
+    @activity.setter
+    def activity(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled != self._activity:
+            self._activity = enabled
+            self._plan = None
+
+    # ------------------------------------------------------------ compiling
+    def compile(self) -> "Simulator":
+        """Snapshot the design into flat call lists for the fast step loop.
+
+        Idempotent and safe to call at any time; assembly methods
+        invalidate the plan so a stale snapshot can never run.
+        """
+        wires = tuple(self._wires.values())
+        latches = (
+            tuple(w._latch for w in wires)
+            if self._activity
+            else tuple(w._latch_no_activity for w in wires)
+        )
+        self._plan = (
+            tuple(c.tick for c in self._components.values()),
+            latches,
+            wires,
+        )
+        return self
+
+    @property
+    def compiled(self) -> bool:
+        """True while a current compiled plan exists."""
+        return self._plan is not None
+
     # -------------------------------------------------------------- running
     def step(self, cycles: int = 1) -> None:
         """Advance ``cycles`` clock edges."""
         if cycles < 0:
             raise SimulationError("cycles must be >= 0")
-        for _ in range(cycles):
-            for comp in self._components.values():
-                comp.tick(self.cycle)
-            for w in self._wires.values():
-                w.commit()
-            for t in self._traces:
-                t.sample(self.cycle)
-            self.cycle += 1
+        if self._plan is None:
+            self.compile()
+        assert self._plan is not None
+        ticks, latches, wires = self._plan
+        traces = self._traces
+        cycle = self.cycle
+        try:
+            if traces:
+                for _ in range(cycles):
+                    for tick in ticks:
+                        tick(cycle)
+                    for latch in latches:
+                        latch()
+                    for t in traces:
+                        t.sample(cycle)
+                    cycle += 1
+            else:
+                for _ in range(cycles):
+                    for tick in ticks:
+                        tick(cycle)
+                    for latch in latches:
+                        latch()
+                    cycle += 1
+        finally:
+            # On a mid-cycle exception the partially evaluated cycle is not
+            # counted, matching the uncompiled per-cycle loop's behaviour.
+            # Commit counters are bulk-added here (every wire commits every
+            # completed cycle), which is what makes the latch loop cheap.
+            done = cycle - self.cycle
+            if done:
+                for w in wires:
+                    w.commits += done
+            self.cycle = cycle
 
     def run_until(self, predicate, max_cycles: int = 1_000_000) -> int:
         """Step until ``predicate(sim)`` is true; returns the cycle count.

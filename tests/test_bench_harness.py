@@ -1,0 +1,105 @@
+"""Unit tests of the benchmark harness (no heavy measurement)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.report import SCHEMA, check_regression, load_report, write_report
+from repro.bench.runner import BenchResult, time_fn
+from repro.errors import ConfigurationError
+
+
+def _result(name: str, sps: float, baseline: float | None = None) -> BenchResult:
+    return BenchResult(
+        name=name,
+        samples_per_sec=sps,
+        seconds=1.0,
+        repeats=1,
+        n_samples=int(sps),
+        baseline_samples_per_sec=baseline,
+        baseline_seconds=1.0 if baseline else None,
+    )
+
+
+class TestTimeFn:
+    def test_returns_positive_seconds(self):
+        calls = []
+        secs = time_fn(lambda: calls.append(1), repeats=3, warmup=2)
+        assert secs > 0.0
+        assert len(calls) == 5  # warmup + repeats
+
+
+class TestReportRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "BENCH_dsp.json"
+        results = {"rtl_ddc": _result("rtl_ddc", 5e6, baseline=7e4)}
+        doc = write_report(path, results, quick=True)
+        assert doc["schema"] == SCHEMA
+        loaded = load_report(path)
+        bench = loaded["benches"]["rtl_ddc"]
+        assert bench["samples_per_sec"] == pytest.approx(5e6)
+        assert bench["baseline_samples_per_sec"] == pytest.approx(7e4)
+        assert bench["speedup"] == pytest.approx(5e6 / 7e4, rel=1e-3)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope/v0"}))
+        with pytest.raises(ConfigurationError):
+            load_report(path)
+
+
+class TestRegressionCheck:
+    def _committed(self, sps: float) -> dict:
+        return {
+            "schema": SCHEMA,
+            "benches": {"rtl_ddc": {"samples_per_sec": sps}},
+        }
+
+    def test_pass_when_fast_enough(self):
+        results = {"rtl_ddc": _result("rtl_ddc", 8e6)}
+        assert check_regression(results, self._committed(1e7)) == []
+
+    def test_fail_beyond_threshold(self):
+        results = {"rtl_ddc": _result("rtl_ddc", 6e6)}
+        failures = check_regression(
+            results, self._committed(1e7), max_regression=0.30
+        )
+        assert len(failures) == 1 and "rtl_ddc" in failures[0]
+
+    def test_fail_when_bench_missing(self):
+        assert check_regression({}, self._committed(1e7)) != []
+        results = {"rtl_ddc": _result("rtl_ddc", 1e7)}
+        assert check_regression(results, {"benches": {}}) != []
+
+    def test_slow_machine_forgiven_when_speedup_holds(self):
+        """Absolute regression + stable measured speedup = slower hardware."""
+        committed = {
+            "schema": SCHEMA,
+            "benches": {"rtl_ddc": {"samples_per_sec": 1e7, "speedup": 90.0}},
+        }
+        # Half the absolute throughput, but the block-vs-cycle ratio held.
+        results = {"rtl_ddc": _result("rtl_ddc", 5e6, baseline=5e6 / 88.0)}
+        assert check_regression(results, committed) == []
+        # Ratio collapsed too: a genuine engine regression.
+        results = {"rtl_ddc": _result("rtl_ddc", 5e6, baseline=5e6 / 40.0)}
+        assert check_regression(results, committed) != []
+
+    def test_custom_threshold(self):
+        results = {"rtl_ddc": _result("rtl_ddc", 9.6e6)}
+        assert check_regression(
+            results, self._committed(1e7), max_regression=0.05
+        ) == []
+        assert check_regression(
+            results, self._committed(1e7), max_regression=0.01
+        ) != []
+
+
+class TestBenchResult:
+    def test_speedup_none_without_baseline(self):
+        assert _result("x", 1e6).speedup is None
+
+    def test_json_omits_absent_baseline(self):
+        j = _result("x", 1e6).to_json()
+        assert "baseline_samples_per_sec" not in j and "speedup" not in j

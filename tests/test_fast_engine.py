@@ -1,0 +1,353 @@
+"""Equivalence suite for the fast-execution engine.
+
+Three families of guarantees:
+
+1. block-mode RTL components == the bit-true numpy models == the
+   cycle-accurate RTL, sample for sample, under arbitrary block splits;
+2. the compiled ``Simulator.step`` fast path == a reference per-cycle
+   interpretation of the same design (identical wire traces *and* toggle
+   counts), with ``activity=False`` latching identically;
+3. the block-mode RTLDDC reconstructs the cycle-accurate activity report
+   exactly, not just approximately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import REFERENCE_DDC, FixedDDC
+from repro.archs.fpga import RTLDDC
+from repro.archs.fpga.block import popcount_sum, stream_toggles
+from repro.archs.fpga.rtl_cic import RTLCIC
+from repro.archs.fpga.rtl_fir import RTLPolyphaseFIR
+from repro.archs.fpga.rtl_nco import RTLNCOMixer
+from repro.dsp.cic import FixedCICDecimator
+from repro.dsp.fir import FixedPolyphaseDecimator
+from repro.dsp.firdesign import quantize_taps, reference_fir_taps
+from repro.dsp.signals import quantize_to_adc, tone
+from repro.errors import SimulationError
+from repro.simkernel import ClockDomain, Component, Simulator, Wire, WaveTrace
+
+
+def _split(x: np.ndarray, cuts: list[int]) -> list[np.ndarray]:
+    """Split ``x`` at the given (possibly duplicate) cut points."""
+    return [b for b in np.split(x, sorted(c % (len(x) + 1) for c in cuts))]
+
+
+# --------------------------------------------------------------------------
+# 1. block-mode components vs the bit-true models, arbitrary splits
+# --------------------------------------------------------------------------
+
+samples_strategy = st.lists(
+    st.integers(-2048, 2047), min_size=1, max_size=400
+)
+cuts_strategy = st.lists(st.integers(0, 10_000), max_size=5)
+
+
+class TestBlockSplitEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(samples=samples_strategy, cuts=cuts_strategy,
+           order=st.integers(1, 5), decimation=st.integers(2, 21))
+    def test_cic_block_splits(self, samples, cuts, order, decimation):
+        x = np.array(samples, dtype=np.int64)
+        want = FixedCICDecimator(order, decimation, input_width=12).process(x)
+
+        sim = Simulator(ClockDomain("clk", 1e6))
+        from repro.fixedpoint import cic_bit_growth
+
+        g = 12 + cic_bit_growth(order, decimation)
+        cic = RTLCIC(
+            "cic", sim.wire("x", 12), sim.wire("xv", 1),
+            sim.wire("y", 12), sim.wire("yv", 1),
+            sim.wire("ip", g), sim.wire("cp", g), order, decimation, 12,
+        )
+        got = np.concatenate(
+            [cic.process_block(b) for b in _split(x, cuts)]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=25, deadline=None)
+    @given(samples=samples_strategy, cuts=cuts_strategy,
+           decimation=st.integers(1, 8))
+    def test_fir_block_splits(self, samples, cuts, decimation):
+        taps = reference_fir_taps(21, 192e3, 24e3, compensate_cic5=False)
+        raw, fmt = quantize_taps(taps, 12)
+        shift = max(0, fmt.frac)
+        x = np.array(samples, dtype=np.int64)
+        want = FixedPolyphaseDecimator(
+            raw, decimation, output_shift=shift
+        ).process(x)
+
+        sim = Simulator(ClockDomain("clk", 1e6))
+        fir = RTLPolyphaseFIR(
+            "fir", sim.wire("x", 12), sim.wire("xv", 1),
+            sim.wire("y", 12), sim.wire("yv", 1),
+            sim.wire("acc", 31), sim.wire("addr", 8),
+            raw, decimation, 12, output_shift=shift,
+        )
+        got = np.concatenate(
+            [fir.process_block(b) for b in _split(x, cuts)]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=15, deadline=None)
+    @given(samples=st.lists(st.integers(-2048, 2047), min_size=1, max_size=120),
+           cuts=cuts_strategy)
+    def test_nco_mixer_block_splits_vs_cycle(self, samples, cuts):
+        x = np.array(samples, dtype=np.int64)
+        cfg = REFERENCE_DDC
+
+        def build(sim):
+            return RTLNCOMixer(
+                "nco", sim.wire("x", 12), sim.wire("xv", 1),
+                sim.wire("i", 12), sim.wire("q", 12), sim.wire("v", 1),
+                sim.wire("ph", 32), sim.wire("c", 12), sim.wire("s", 12),
+                frequency_hz=cfg.nco_frequency_hz,
+                sample_rate_hz=cfg.input_rate_hz,
+            )
+
+        # cycle-accurate reference
+        sim = Simulator(ClockDomain("clk", cfg.input_rate_hz))
+        nco = build(sim)
+        xw, xv = nco.inputs["x"], nco.inputs["x_valid"]
+        iw, qw, vw = nco.outputs["i"], nco.outputs["q"], nco.outputs["iq_valid"]
+        i_ref, q_ref = [], []
+        for v in x:
+            # two-phase: commit the inputs first so tick sees them
+            xw.drive(int(v))
+            xv.drive(1)
+            xw.commit()
+            xv.commit()
+            nco.tick(0)
+            for w in (iw, qw, vw, *(nco.outputs[p] for p in
+                                    ("phase", "cos", "sin"))):
+                w.commit()
+            assert vw.value == 1
+            i_ref.append(iw.value)
+            q_ref.append(qw.value)
+
+        # block mode, arbitrary splits
+        sim2 = Simulator(ClockDomain("clk", cfg.input_rate_hz))
+        nco2 = build(sim2)
+        i_blk, q_blk = [], []
+        for b in _split(x, cuts):
+            i, q = nco2.process_block(b)
+            i_blk.extend(i)
+            q_blk.extend(q)
+        np.testing.assert_array_equal(i_blk, i_ref)
+        np.testing.assert_array_equal(q_blk, q_ref)
+
+    def test_fir_block_refuses_mid_mac(self):
+        sim = Simulator(ClockDomain("clk", 1e6))
+        fir = RTLPolyphaseFIR(
+            "fir", sim.wire("x", 12), sim.wire("xv", 1),
+            sim.wire("y", 12), sim.wire("yv", 1),
+            sim.wire("acc", 31), sim.wire("addr", 8),
+            np.ones(8, dtype=np.int64), 8, 12,
+        )
+        fir.inputs["x"].value = 5
+        fir.inputs["x_valid"].value = 1
+        fir.tick(0)  # trigger: MAC loop now busy
+        with pytest.raises(SimulationError):
+            fir.process_block(np.zeros(4, dtype=np.int64))
+
+
+# --------------------------------------------------------------------------
+# 2. full-chain: block RTLDDC vs FixedDDC vs cycle RTLDDC
+# --------------------------------------------------------------------------
+
+class TestRTLDDCBlockMode:
+    @pytest.fixture(scope="class")
+    def adc(self):
+        cfg = REFERENCE_DDC
+        n = 2688 * 3
+        return quantize_to_adc(
+            tone(n, cfg.nco_frequency_hz + 5e3, cfg.input_rate_hz, 0.8), 12
+        )
+
+    def test_block_matches_fixed_ddc(self, adc):
+        res = RTLDDC().run(adc, mode="block")
+        i_ref, q_ref = FixedDDC().process(adc)
+        np.testing.assert_array_equal(res.i, i_ref)
+        np.testing.assert_array_equal(res.q, q_ref)
+
+    @settings(max_examples=10, deadline=None)
+    @given(cuts=st.lists(st.integers(0, 10_000), max_size=4))
+    def test_block_split_invariance(self, adc, cuts):
+        """Feeding the burst in arbitrary sub-blocks changes nothing."""
+        rtl = RTLDDC()
+        i_parts, q_parts = [], []
+        for b in _split(adc, cuts):
+            res = rtl.run(b, mode="block", activity=False)
+            i_parts.append(res.i)
+            q_parts.append(res.q)
+        i_ref, q_ref = FixedDDC().process(adc)
+        np.testing.assert_array_equal(np.concatenate(i_parts), i_ref)
+        np.testing.assert_array_equal(np.concatenate(q_parts), q_ref)
+
+    def test_block_matches_cycle_exactly(self, adc):
+        cyc = RTLDDC().run(adc)
+        blk = RTLDDC().run(adc, mode="block")
+        n = min(len(cyc.i), len(blk.i))
+        assert n >= 2
+        np.testing.assert_array_equal(blk.i[:n], cyc.i[:n])
+        np.testing.assert_array_equal(blk.q[:n], cyc.q[:n])
+        assert blk.cycles == cyc.cycles
+
+    def test_block_activity_matches_cycle(self, adc):
+        """The analytic report reproduces every wire's toggle count."""
+        cyc = RTLDDC().run(adc)
+        blk = RTLDDC().run(adc, mode="block")
+        for wa in cyc.activity.wires:
+            wb = blk.activity.by_name(wa.name)
+            assert wa.toggles == wb.toggles, wa.name
+            assert wa.commits == wb.commits, wa.name
+        assert blk.activity.mean_toggle_rate == pytest.approx(
+            cyc.activity.mean_toggle_rate
+        )
+
+    def test_activity_opt_out(self, adc):
+        res = RTLDDC().run(adc, mode="block", activity=False)
+        assert res.activity.mean_toggle_rate == 0.0
+        res_c = RTLDDC().run(adc, mode="cycle", activity=False)
+        assert res_c.activity.mean_toggle_rate == 0.0
+        i_ref, _ = FixedDDC().process(adc)
+        np.testing.assert_array_equal(res.i, i_ref)
+        n = min(len(res_c.i), len(i_ref))
+        np.testing.assert_array_equal(res_c.i[:n], i_ref[:n])
+
+
+# --------------------------------------------------------------------------
+# 3. compiled Simulator vs reference interpretation
+# --------------------------------------------------------------------------
+
+class _Player(Component):
+    """Drives a wire from a fixed pattern, one value per cycle."""
+
+    def __init__(self, name: str, out: Wire, pattern: list[int]) -> None:
+        super().__init__(name)
+        self.add_output("q", out)
+        self.pattern = pattern
+
+    def tick(self, cycle: int) -> None:
+        if cycle < len(self.pattern):
+            self.write("q", self.pattern[cycle])
+
+
+class _Delay(Component):
+    """Registers its input to its output."""
+
+    def __init__(self, name: str, inp: Wire, out: Wire) -> None:
+        super().__init__(name)
+        self.add_input("d", inp)
+        self.add_output("q", out)
+
+    def tick(self, cycle: int) -> None:
+        self.write("q", self.read("d"))
+
+
+def _build(pattern: list[int]) -> tuple[Simulator, WaveTrace]:
+    sim = Simulator(ClockDomain("clk", 1e6))
+    a = sim.wire("a", 12)
+    b = sim.wire("b", 12)
+    sim.add(_Player("src", a, pattern))
+    sim.add(_Delay("dly", a, b))
+    trace = sim.attach_trace(WaveTrace([a, b]))
+    return sim, trace
+
+
+def _reference_step(sim: Simulator, cycles: int) -> None:
+    """The seed's uncompiled per-cycle loop, kept as the oracle."""
+    for _ in range(cycles):
+        for comp in sim.components.values():
+            comp.tick(sim.cycle)
+        for w in sim.wires.values():
+            w.commit()
+        for t in sim._traces:
+            t.sample(sim.cycle)
+        sim.cycle += 1
+
+
+class TestCompiledSimulator:
+    @settings(max_examples=25, deadline=None)
+    @given(pattern=st.lists(st.integers(-2048, 2047), min_size=1, max_size=64),
+           extra=st.integers(0, 8))
+    def test_traces_and_toggles_identical(self, pattern, extra):
+        n = len(pattern) + extra
+        fast, fast_trace = _build(pattern)
+        fast.compile()
+        fast.step(n)
+
+        ref, ref_trace = _build(pattern)
+        _reference_step(ref, n)
+
+        assert fast_trace.values("a") == ref_trace.values("a")
+        assert fast_trace.values("b") == ref_trace.values("b")
+        for name in ("a", "b"):
+            wf, wr = fast.wires[name], ref.wires[name]
+            assert (wf.toggles, wf.commits) == (wr.toggles, wr.commits)
+        assert fast.cycle == ref.cycle
+
+    def test_structural_change_invalidates_plan(self):
+        sim, _ = _build([1, 2, 3])
+        sim.compile()
+        assert sim.compiled
+        c = sim.wire("c", 4)
+        assert not sim.compiled
+        sim.add(_Delay("dly2", sim.wires["b"], c))
+        sim.step(4)  # recompiles lazily; new component must run
+        assert c.value == sim.wires["a"].reset_value or c.commits == 4
+
+    def test_activity_off_latches_identically(self):
+        pattern = list(range(-30, 30, 3))
+        on, _ = _build(pattern)
+        on.step(len(pattern))
+        off, _ = _build(pattern)
+        off.activity = False
+        off.step(len(pattern))
+        for name in ("a", "b"):
+            assert off.wires[name].value == on.wires[name].value
+            assert off.wires[name].toggles == 0
+            assert on.wires[name].toggles > 0
+
+    def test_mid_step_error_counts_completed_cycles(self):
+        class Bomb(Component):
+            def tick(self, cycle):
+                if cycle == 3:
+                    raise SimulationError("boom")
+
+        sim = Simulator(ClockDomain("clk", 1e6))
+        sim.add(Bomb("bomb"))
+        with pytest.raises(SimulationError):
+            sim.step(10)
+        assert sim.cycle == 3
+
+
+# --------------------------------------------------------------------------
+# 4. block-activity helpers
+# --------------------------------------------------------------------------
+
+class TestBlockHelpers:
+    def test_popcount_sum(self):
+        assert popcount_sum(np.array([0b1011, 0, 0b1], dtype=np.uint64)) == 4
+        assert popcount_sum(np.empty(0, dtype=np.uint64)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(-2048, 2047), max_size=100),
+           width=st.integers(2, 16))
+    def test_stream_toggles_matches_wire_commit(self, values, width):
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        vals = [max(lo, min(hi, v)) for v in values]
+        w = Wire("w", width)
+        for v in vals:
+            w.drive(v)
+            w.commit()
+        assert stream_toggles(np.array(vals, dtype=np.int64), width) == w.toggles
+
+    def test_numpy_scalar_drive(self):
+        w = Wire("w", 12)
+        w.drive(np.int64(-5))
+        w.commit()
+        assert w.value == -5 and isinstance(w.value, int)
