@@ -18,10 +18,17 @@ from repro.dsp.nco import NCO
 
 
 def test_bench_ablation_decimation_plans(benchmark):
-    """Sweep decimation splits of 2688 and rank by estimated ASIC power."""
+    """Sweep decimation splits of 2688 and rank by estimated ASIC power.
+
+    The sweep fans out over a thread pool (``workers=4``); the ordering
+    contract (parallel == serial, input order) is pinned by the unit
+    tests in ``tests/test_parallel.py``.
+    """
     spec = DDCSpec()
 
-    plans = benchmark(lambda: enumerate_plans(spec, min_rejection_db=50.0))
+    plans = benchmark(
+        lambda: enumerate_plans(spec, min_rejection_db=50.0, workers=4)
+    )
     assert plans, "no valid plans found"
     tuples = [p.as_tuple() for p in plans]
     assert (16, 21, 8) in tuples, "the paper's plan must be valid"
@@ -53,13 +60,20 @@ def test_bench_ablation_gpp_optimisation(benchmark):
     """Spill-slot (unoptimised-compiler) cost on the ARM cycle count.
 
     Section 4.2.2: "It should be possible to speed up the algorithm when
-    it is completely optimized" — quantified here.
+    it is completely optimized" — quantified here.  The two profiles ride
+    the fast engine, run as a two-item parallel sweep, and now cover the
+    full 2688-sample steady state (the seed interpreter could only afford
+    672).
     """
     from repro.archs.gpp.profiler import profile_ddc
+    from repro.parallel import parallel_map
 
     def run():
-        slow = profile_ddc(n_samples=672, spill_slots=True)
-        fast = profile_ddc(n_samples=672, spill_slots=False)
+        slow, fast = parallel_map(
+            lambda spill: profile_ddc(n_samples=2688, spill_slots=spill),
+            (True, False),
+            workers=2,
+        )
         return slow.cycles_per_input_sample, fast.cycles_per_input_sample
 
     slow_c, fast_c = benchmark(run)

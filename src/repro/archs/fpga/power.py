@@ -102,9 +102,19 @@ class FPGAPowerModel:
         usage: ResourceUsage,
         toggle_rates: tuple[float, ...] = (0.05, 0.10, 0.50, 0.875),
         frequency_hz: float = 64_512_000.0,
+        workers: int | None = None,
     ) -> list[tuple[float, PowerBreakdown]]:
-        """The Table 5 sweep: (toggle, breakdown) pairs."""
-        return [
-            (t, self.estimate(usage, frequency_hz, internal_toggle=t))
-            for t in toggle_rates
-        ]
+        """The Table 5 sweep: (toggle, breakdown) pairs.
+
+        ``workers`` fans the independent toggle-rate points out over a
+        thread pool (see :mod:`repro.parallel`); output order is the
+        input order either way.
+        """
+        from ...parallel import parallel_map
+
+        breakdowns = parallel_map(
+            lambda t: self.estimate(usage, frequency_hz, internal_toggle=t),
+            toggle_rates,
+            workers=workers,
+        )
+        return list(zip(toggle_rates, breakdowns))

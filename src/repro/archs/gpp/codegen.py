@@ -82,6 +82,50 @@ class DDCProgramLayout:
     coef_base: int = COEF_BASE
 
 
+@dataclass(frozen=True)
+class DDCKernelMeta:
+    """Everything the vectorised fast engine needs to replay a generated
+    program without interpreting it.
+
+    Attached to the :class:`~repro.archs.gpp.assembler.Program` by
+    :func:`generate_ddc_program` as ``program.ddc_meta``.  The contract:
+    the metadata describes *exactly* the assembly this module emitted, and
+    :mod:`~repro.archs.gpp.ddc_kernel` verifies the control-flow skeleton
+    before trusting it; the Hypothesis suite in
+    ``tests/test_fast_engine.py`` pins the data path bit-for-bit against
+    the interpreter.  If you change the emitted code shape, update the
+    kernel (or drop the metadata and fall back to the block engine).
+    """
+
+    n_samples: int
+    d2: int
+    d5: int
+    d8: int
+    taps: int
+    lut_bits: int
+    fcw: int
+    phase_bias: int
+    mix_shift: int
+    cic2_shift: int
+    cic5_pre_shift: int
+    cic5_shift: int
+    fir_out_shift: int
+    spill_slots: bool
+    lut_base: int = LUT_BASE
+    in_base: int = IN_BASE
+    state_base: int = STATE_BASE
+    fir_ram: int = FIR_RAM
+    coef_base: int = COEF_BASE
+    out_base: int = OUT_BASE
+    stack_base: int = STACK_BASE
+    st_cic2_comb: int = _ST_CIC2_COMB
+    st_cic5_int: int = _ST_CIC5_INT
+    st_cic5_comb: int = _ST_CIC5_COMB
+    st_fir_widx: int = _ST_FIR_WIDX
+    st_out_ptr: int = _ST_OUT_PTR
+    st_cic2_int: int = _ST_CIC2_INT
+
+
 def generate_ddc_source(
     config: DDCConfig = REFERENCE_DDC,
     n_samples: int = 2688,
@@ -261,9 +305,34 @@ def generate_ddc_program(
     lut_bits: int = 10,
     spill_slots: bool = True,
 ) -> tuple[Program, DDCProgramLayout]:
-    """Assemble the generated DDC source."""
+    """Assemble the generated DDC source.
+
+    The returned program carries a :class:`DDCKernelMeta` as
+    ``program.ddc_meta`` so ``CPU.run(engine="auto")`` can execute it with
+    the vectorised kernel instead of interpreting every instruction.
+    """
     src, layout = generate_ddc_source(config, n_samples, lut_bits, spill_slots)
-    return assemble(src), layout
+    program = assemble(src)
+    fcw = round(
+        config.nco_frequency_hz / config.input_rate_hz * 2**32
+    ) % 2**32
+    program.ddc_meta = DDCKernelMeta(
+        n_samples=n_samples,
+        d2=config.cic2_decimation,
+        d5=config.cic5_decimation,
+        d8=config.fir_decimation,
+        taps=config.fir_taps,
+        lut_bits=lut_bits,
+        fcw=fcw,
+        phase_bias=(-fcw) % 2**32,
+        mix_shift=config.data_width - 1,
+        cic2_shift=8,
+        cic5_pre_shift=2,
+        cic5_shift=20,
+        fir_out_shift=11,
+        spill_slots=spill_slots,
+    )
+    return program, layout
 
 
 def build_memory_image(

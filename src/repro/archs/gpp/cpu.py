@@ -7,8 +7,14 @@ material of Table 3 and the 2865 MIPS / 4.87 Gcycles/s numbers of
 Section 4.2.1.
 
 The machine is a flat register file (r0..r15), N/Z flags, and a
-word-addressed memory (Python dict, zero-default).  Arithmetic is 32-bit
-two's-complement like the ARM.
+word-addressed memory (array-backed, zero-default — see
+:class:`WordMemory`).  Arithmetic is 32-bit two's-complement like the ARM.
+
+:meth:`CPU.step` is the per-instruction *oracle*; :meth:`CPU.run` can also
+dispatch to the fast engines (``engine="blocks"`` for the generic
+basic-block compiler, ``engine="auto"`` to additionally use the vectorised
+DDC kernel when the program carries codegen metadata) — both produce
+bit-identical registers, memory and :class:`ExecutionStats`.
 """
 
 from __future__ import annotations
@@ -27,6 +33,101 @@ _SIGN_BIT = 1 << 31
 def _to_signed(v: int) -> int:
     v &= _WORD_MASK
     return v - (1 << 32) if v & _SIGN_BIT else v
+
+
+class WordMemory:
+    """Array-backed word memory with a sparse spill for stray addresses.
+
+    The seed kept memory in a ``dict[int, int]`` — every load/store paid a
+    hash lookup.  This class keeps the dense address range
+    ``[0, capacity)`` in a flat list (zero-default, like the dict) and
+    spills anything else — negative addresses included — to a dict, so *no
+    address aliases another*: address ``-1`` is a distinct word, never the
+    last array slot.
+
+    All coercion happens once, at this boundary: addresses are normalised
+    with ``int()`` and stored values are wrapped to signed 32-bit, so
+    ``LDR``/``STR``/:meth:`load` agree on what a word is no matter which
+    path wrote it (the seed re-signed values in ``load_memory`` but stored
+    ``STR`` operands raw).
+    """
+
+    __slots__ = ("_words", "_spill", "capacity")
+
+    #: Largest dense backing array a bulk load may grow to (words).  A
+    #: load at a base beyond this spills sparsely instead — the seed dict
+    #: stored one entry for ``load_memory(2**30, [1])`` and so do we,
+    #: rather than allocating gigabytes of zeros.
+    MAX_DENSE_WORDS = 1 << 22
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        self.capacity = int(capacity)
+        self._words = [0] * self.capacity
+        self._spill: dict[int, int] = {}
+
+    def read(self, addr: int) -> int:
+        """Read one word (0 if never written)."""
+        addr = int(addr)
+        if 0 <= addr < self.capacity:
+            return self._words[addr]
+        return self._spill.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        """Write one word; the value is wrapped to signed 32-bit here."""
+        addr = int(addr)
+        value = _to_signed(int(value))
+        if 0 <= addr < self.capacity:
+            self._words[addr] = value
+        else:
+            self._spill[addr] = value
+
+    def load(self, base: int, values) -> None:
+        """Bulk-initialise ``values`` at ``base``, growing the dense array
+        so bulk-loaded regions (the input sample block) never spill.
+        Loads beyond :attr:`MAX_DENSE_WORDS` stay sparse."""
+        base = int(base)
+        end = base + len(values)
+        if base >= 0 and self.capacity < end <= self.MAX_DENSE_WORDS:
+            self._grow(end)
+        for i, v in enumerate(values):
+            self.write(base + i, v)
+
+    def _grow(self, minimum: int) -> None:
+        cap = self.capacity
+        while cap < minimum:
+            cap *= 2
+        self._words.extend([0] * (cap - self.capacity))
+        self.capacity = cap
+        # re-home spill entries the grown array now covers
+        for addr in [a for a in self._spill if 0 <= a < cap]:
+            self._words[addr] = self._spill.pop(addr)
+
+    def region(self, base: int, count: int) -> list[int]:
+        """A dense slice ``[base, base + count)`` as a list of words."""
+        base = int(base)
+        if base >= 0 and base + count <= self.capacity:
+            return self._words[base : base + count]
+        return [self.read(base + i) for i in range(count)]
+
+    def nonzero_items(self) -> dict[int, int]:
+        """``{addr: word}`` for every non-zero word (test equivalence)."""
+        out = {a: v for a, v in enumerate(self._words) if v}
+        out.update({a: v for a, v in self._spill.items() if v})
+        return out
+
+    # mapping-flavoured conveniences for callers that treated the seed
+    # memory as a dict
+    def get(self, addr: int, default: int = 0) -> int:
+        addr = int(addr)
+        if 0 <= addr < self.capacity:
+            return self._words[addr]
+        return self._spill.get(addr, default)
+
+    def __getitem__(self, addr: int) -> int:
+        return self.read(addr)
+
+    def __setitem__(self, addr: int, value: int) -> None:
+        self.write(addr, value)
 
 
 @dataclass
@@ -57,14 +158,14 @@ class ExecutionStats:
 
 
 class CPU:
-    """Executes programs; memory is word-addressed and sparse."""
+    """Executes programs; memory is word-addressed and zero-default."""
 
     def __init__(self, program: Program) -> None:
         self.program = program
         self.regs = [0] * 16
         self.flag_n = False
         self.flag_z = False
-        self.memory: dict[int, int] = {}
+        self.memory = WordMemory()
         self.pc = 0
         self.halted = False
         self.stats = ExecutionStats()
@@ -72,12 +173,11 @@ class CPU:
     # ------------------------------------------------------------- memory
     def load_memory(self, base: int, values: list[int]) -> None:
         """Bulk-initialise memory at ``base``."""
-        for i, v in enumerate(values):
-            self.memory[base + i] = _to_signed(int(v))
+        self.memory.load(base, values)
 
     def read_memory(self, addr: int) -> int:
         """Read one word (0 if never written)."""
-        return self.memory.get(int(addr), 0)
+        return self.memory.read(addr)
 
     # ------------------------------------------------------------ operands
     def _op2(self, instr: Instruction) -> int:
@@ -128,7 +228,7 @@ class CPU:
                 )
         elif m is Mnemonic.STR:
             addr = self.regs[instr.rn] + (0 if instr.post_inc else self._op2(instr))
-            self.memory[int(addr)] = self.regs[instr.rd]
+            self.memory.write(addr, self.regs[instr.rd])
             if instr.post_inc:
                 self.regs[instr.rn] = _to_signed(
                     self.regs[instr.rn] + self._op2(instr)
@@ -168,8 +268,38 @@ class CPU:
         self.stats.region_cycles[region] += cost
         self.pc = next_pc
 
-    def run(self, max_instructions: int = 50_000_000) -> ExecutionStats:
-        """Run until HALT; returns the statistics."""
+    def run(
+        self,
+        max_instructions: int = 50_000_000,
+        engine: str = "interp",
+    ) -> ExecutionStats:
+        """Run until HALT; returns the statistics.
+
+        ``engine`` selects the execution strategy — all three produce
+        bit-identical registers, memory and statistics:
+
+        - ``"interp"`` — the per-instruction oracle loop (seed behaviour);
+        - ``"blocks"`` — the basic-block compiler of
+          :mod:`~repro.archs.gpp.engine`;
+        - ``"auto"`` — the vectorised DDC kernel when the program carries
+          :mod:`~repro.archs.gpp.codegen` metadata, else ``"blocks"``.
+        """
+        if engine == "auto":
+            from .ddc_kernel import run_ddc_kernel
+
+            if run_ddc_kernel(self, max_instructions):
+                return self.stats
+            engine = "blocks"
+        if engine == "blocks":
+            from .engine import CompiledProgram
+
+            compiled = getattr(self.program, "_compiled", None)
+            if compiled is None or compiled.program is not self.program:
+                compiled = CompiledProgram(self.program)
+                self.program._compiled = compiled
+            return compiled.run(self, max_instructions)
+        if engine != "interp":
+            raise ExecutionError(f"unknown engine {engine!r}")
         executed = 0
         while not self.halted:
             if executed >= max_instructions:

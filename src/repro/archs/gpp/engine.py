@@ -1,0 +1,365 @@
+"""Block-compiling execution engine for the GPP instruction-set simulator.
+
+The seed interpreter (:meth:`~repro.archs.gpp.cpu.CPU.step`) dispatches one
+Python call per instruction — fine as an oracle, far too slow as a model.
+This module is the generic half of the fast path:
+
+- :func:`discover_blocks` finds the basic blocks of an assembled
+  :class:`~repro.archs.gpp.assembler.Program` (leaders = entry, branch
+  targets, fall-throughs of branches);
+- :class:`CompiledProgram` specialises every block *once* into straight-line
+  Python source (registers become locals, immediates become pre-wrapped
+  constants, memory accesses become list indexing) and ``exec``-compiles the
+  whole program into a single threaded-dispatch function;
+- per-instruction cycle/region accounting is hoisted into **per-block
+  counters**: the compiled code only counts block executions and taken
+  branches, and :func:`accumulate_block_stats` reconstructs an
+  :class:`~repro.archs.gpp.cpu.ExecutionStats` that is bit-identical to the
+  interpreter's.
+
+Semantics are the interpreter's, exactly: 32-bit two's-complement wrapping,
+the same flag behaviour, the same ``ExecutionError`` conditions.  When the
+instruction budget would be exceeded mid-block, or the program counter
+leaves the compiled region, execution falls back to single-stepping the
+interpreter so truncation errors surface at exactly the same instruction
+with exactly the same partial statistics.
+
+The DDC-shaped programs emitted by :mod:`~repro.archs.gpp.codegen` have an
+additional, much faster numpy path: see :mod:`~repro.archs.gpp.ddc_kernel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import ExecutionError
+from .assembler import Program
+from .cpu import CPU, ExecutionStats, _to_signed
+from .isa import BRANCHES, CYCLES, Instruction, Mnemonic
+
+_MASK = 0xFFFFFFFF
+_BIAS = 0x80000000
+
+
+# ------------------------------------------------------------ basic blocks
+@dataclass
+class BasicBlock:
+    """One straight-line run of instructions.
+
+    ``start``/``end`` delimit ``program.instructions[start:end]``; the last
+    instruction may be a branch or HALT (the terminator).  Static per-block
+    cost tables let the runtime count block executions instead of
+    instructions.
+    """
+
+    index: int
+    start: int
+    end: int  # exclusive
+    #: successor pc when the terminator is not taken / absent
+    fallthrough: int
+    #: branch target pc (branches only)
+    target: int | None = None
+    terminator: Mnemonic | None = None
+    n_instr: int = 0
+    base_cycles: int = 0  # with branches priced as not-taken
+    taken_extra: int = 0
+    branch_region: str | None = None
+    #: region -> (instructions, not-taken cycles)
+    region_costs: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def discover_blocks(program: Program) -> list[BasicBlock]:
+    """Partition ``program`` into basic blocks (in program order)."""
+    n = len(program)
+    leaders = {0}
+    for pc, instr in enumerate(program.instructions):
+        if instr.mnemonic in BRANCHES:
+            leaders.add(instr.target)
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif instr.mnemonic is Mnemonic.HALT and pc + 1 < n:
+            leaders.add(pc + 1)
+    ordered = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for bi, start in enumerate(ordered):
+        limit = ordered[bi + 1] if bi + 1 < len(ordered) else n
+        end = start
+        terminator = None
+        target = None
+        while end < limit:
+            instr = program.instructions[end]
+            end += 1
+            if instr.mnemonic in BRANCHES or instr.mnemonic is Mnemonic.HALT:
+                terminator = instr.mnemonic
+                target = instr.target if instr.mnemonic in BRANCHES else None
+                break
+        blk = BasicBlock(bi, start, end, fallthrough=end,
+                         terminator=terminator, target=target)
+        _price_block(program, blk)
+        blocks.append(blk)
+    return blocks
+
+
+def _price_block(program: Program, blk: BasicBlock) -> None:
+    """Fill the static instruction/cycle/region tables of ``blk``."""
+    costs: dict[str, list[int]] = {}
+    for pc in range(blk.start, blk.end):
+        instr = program.instructions[pc]
+        region = program.region_of(pc)
+        cyc = CYCLES[instr.cost_class(False)]
+        entry = costs.setdefault(region, [0, 0])
+        entry[0] += 1
+        entry[1] += cyc
+        blk.n_instr += 1
+        blk.base_cycles += cyc
+        if instr.mnemonic in BRANCHES:
+            blk.taken_extra = (
+                CYCLES["branch_taken"] - CYCLES["branch_not_taken"]
+            )
+            blk.branch_region = region
+    blk.region_costs = {r: (i, c) for r, (i, c) in costs.items()}
+
+
+def accumulate_block_stats(
+    stats: ExecutionStats,
+    blocks: list[BasicBlock],
+    counts: list[int],
+    takens: list[int],
+) -> None:
+    """Fold per-block execution counters into ``stats``.
+
+    Bit-identical to per-instruction accounting because every instruction's
+    cost class and region are static; only branch-taken cycles vary, and
+    those are counted separately per block.
+    """
+    for blk, count, taken in zip(blocks, counts, takens):
+        if not count:
+            continue
+        stats.instructions += count * blk.n_instr
+        stats.cycles += count * blk.base_cycles + taken * blk.taken_extra
+        for region, (ri, rc) in blk.region_costs.items():
+            stats.region_instructions[region] += count * ri
+            stats.region_cycles[region] += count * rc
+        if taken and blk.branch_region is not None:
+            stats.region_cycles[blk.branch_region] += taken * blk.taken_extra
+
+
+# ------------------------------------------------------------- compilation
+def _wrap(expr: str) -> str:
+    """Source for signed 32-bit wrapping of ``expr``."""
+    return f"(((%s) + {_BIAS} & {_MASK}) - {_BIAS})" % expr
+
+
+_COND = {
+    Mnemonic.B: None,
+    Mnemonic.BEQ: "fz",
+    Mnemonic.BNE: "not fz",
+    Mnemonic.BGT: "not fz and not fn",
+    Mnemonic.BLT: "fn",
+    Mnemonic.BGE: "not fn",
+    Mnemonic.BLE: "fz or fn",
+}
+
+
+def _op2_expr(instr: Instruction) -> str:
+    if instr.op2.is_reg:
+        return f"r{instr.op2.value}"
+    return str(_to_signed(instr.op2.value))
+
+
+def _emit(instr: Instruction) -> list[str]:
+    """Python statements for one non-terminator instruction.
+
+    Register locals always hold *wrapped signed* values, so wrapping is
+    emitted only where a result can leave the 32-bit signed range — the
+    same places the interpreter calls ``_to_signed``.
+    """
+    m = instr.mnemonic
+    d, n = f"r{instr.rd}", f"r{instr.rn}"
+    b = _op2_expr(instr)
+    if m is Mnemonic.NOP:
+        return []
+    if m is Mnemonic.MOV:
+        return [f"{d} = {b}"]
+    if m is Mnemonic.MVN:
+        if instr.op2.is_reg:
+            return [f"{d} = ~{b}"]  # ~x of a wrapped value stays in range
+        return [f"{d} = {_to_signed(~_to_signed(instr.op2.value))}"]
+    if m is Mnemonic.CMP:
+        return [f"_t = {_wrap(f'{n} - ({b})')}",
+                "fz = _t == 0", "fn = _t < 0"]
+    if m in (Mnemonic.ADD, Mnemonic.ADDS):
+        out = [f"{d} = {_wrap(f'{n} + ({b})')}"]
+    elif m in (Mnemonic.SUB, Mnemonic.SUBS):
+        out = [f"{d} = {_wrap(f'{n} - ({b})')}"]
+    elif m is Mnemonic.RSB:
+        out = [f"{d} = {_wrap(f'({b}) - {n}')}"]
+    elif m in (Mnemonic.AND, Mnemonic.ORR, Mnemonic.EOR):
+        py = {Mnemonic.AND: "&", Mnemonic.ORR: "|", Mnemonic.EOR: "^"}[m]
+        bu = (f"({b} & {_MASK})" if instr.op2.is_reg
+              else str(_to_signed(instr.op2.value) & _MASK))
+        out = [f"{d} = {_wrap(f'({n} & {_MASK}) {py} {bu}')}"]
+    elif m is Mnemonic.LSL:
+        sh = f"({b} & 31)" if instr.op2.is_reg else str(
+            _to_signed(instr.op2.value) & 31)
+        out = [f"{d} = {_wrap(f'({n} & {_MASK}) << {sh}')}"]
+    elif m is Mnemonic.LSR:
+        sh = f"({b} & 31)" if instr.op2.is_reg else str(
+            _to_signed(instr.op2.value) & 31)
+        out = [f"{d} = {_wrap(f'({n} & {_MASK}) >> {sh}')}"]
+    elif m is Mnemonic.ASR:
+        sh = f"({b} & 31)" if instr.op2.is_reg else str(
+            _to_signed(instr.op2.value) & 31)
+        out = [f"{d} = {n} >> {sh}"]  # arithmetic shift keeps the range
+    elif m is Mnemonic.MUL:
+        out = [f"{d} = {_wrap(f'{n} * ({b})')}"]
+    elif m is Mnemonic.MLA:
+        out = [f"{d} = {_wrap(f'{n} * ({b}) + r{instr.ra}')}"]
+    elif m in (Mnemonic.LDR, Mnemonic.STR):
+        # Address arithmetic uses the *raw* immediate, like the
+        # interpreter's `regs[rn] + op2.value` (no wrapping — a >= 2**31
+        # offset addresses a different word than its wrapped twin).  The
+        # post-increment base update does wrap, where raw and wrapped
+        # immediates are congruent.
+        raw = b if instr.op2.is_reg else str(instr.op2.value)
+        addr = n if instr.post_inc else f"{n} + ({raw})"
+        if m is Mnemonic.LDR:
+            out = [f"_a = {addr}",
+                   f"{d} = _mw[_a] if 0 <= _a < _mc else _mrd(_a)"]
+        else:
+            out = [f"_a = {addr}",
+                   "if 0 <= _a < _mc:",
+                   f"    _mw[_a] = {d}",
+                   "else:",
+                   f"    _mwr(_a, {d})"]
+        if instr.post_inc:
+            out.append(f"{n} = {_wrap(f'{n} + ({b})')}")
+    else:  # pragma: no cover - exhaustive over Mnemonic
+        raise ExecutionError(f"cannot compile mnemonic {m}")
+    if m in (Mnemonic.ADDS, Mnemonic.SUBS):
+        out += [f"fz = {d} == 0", f"fn = {d} < 0"]
+    return out
+
+
+class CompiledProgram:
+    """A program compiled to one threaded-dispatch Python function."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.blocks = discover_blocks(program)
+        self._leader_to_block = {b.start: b.index for b in self.blocks}
+        self._fn = self._build()
+
+    # ------------------------------------------------------------- codegen
+    def _build(self):
+        pc_to_block = self._leader_to_block
+        n = len(self.program)
+        lines = [
+            "def _run(cpu, entry, budget, executed, counts, takens):",
+            "    mem = cpu.memory",
+            "    _mw = mem._words; _mc = mem.capacity",
+            "    _mrd = mem.read; _mwr = mem.write",
+            "    (r0, r1, r2, r3, r4, r5, r6, r7,"
+            " r8, r9, r10, r11, r12, r13, r14, r15) = cpu.regs",
+            "    fn = cpu.flag_n; fz = cpu.flag_z",
+            "    b = entry",
+            "    pc = 0",
+            "    halted = False",
+            "    while True:",
+        ]
+        ind8 = " " * 8
+        ind12 = " " * 12
+        for blk in self.blocks:
+            kw = "if" if blk.index == 0 else "elif"
+            lines.append(f"{ind8}{kw} b == {blk.index}:")
+            lines.append(
+                f"{ind12}if executed + {blk.n_instr} > budget:"
+            )
+            lines.append(f"{ind12}    pc = {blk.start}; break")
+            lines.append(f"{ind12}executed += {blk.n_instr}")
+            lines.append(f"{ind12}counts[{blk.index}] += 1")
+            body = range(
+                blk.start,
+                blk.end - (1 if blk.terminator is not None else 0),
+            )
+            for pc in body:
+                for stmt in _emit(self.program.instructions[pc]):
+                    lines.append(ind12 + stmt)
+            lines.extend(self._emit_terminator(blk, pc_to_block, n, ind12))
+        lines += [
+            "        else:",
+            "            raise RuntimeError('bad block id')",  # unreachable
+            "    cpu.regs[:] = (r0, r1, r2, r3, r4, r5, r6, r7,"
+            " r8, r9, r10, r11, r12, r13, r14, r15)",
+            "    cpu.flag_n = fn; cpu.flag_z = fz",
+            "    cpu.pc = pc",
+            "    cpu.halted = halted",
+            "    return executed",
+        ]
+        src = "\n".join(lines)
+        ns: dict = {}
+        exec(compile(src, f"<gpp-compiled:{id(self)}>", "exec"), ns)
+        self.source = src
+        return ns["_run"]
+
+    def _emit_terminator(self, blk, pc_to_block, n, ind) -> list[str]:
+        def goto(pc: int) -> str:
+            if pc >= n:
+                # falls off the program end: sync and let the interpreter
+                # raise its "pc outside program" at the same point
+                return f"pc = {pc}; break"
+            bid = pc_to_block.get(pc)
+            if bid is None:  # pragma: no cover - leaders cover all entries
+                return f"pc = {pc}; break"
+            return f"b = {bid}"
+
+        out: list[str] = []
+        if blk.terminator is None:
+            out.append(ind + goto(blk.fallthrough))
+            return out
+        if blk.terminator is Mnemonic.HALT:
+            out.append(f"{ind}halted = True; pc = {blk.end}; break")
+            return out
+        cond = _COND[blk.terminator]
+        if cond is None:  # unconditional B
+            out.append(f"{ind}takens[{blk.index}] += 1")
+            out.append(ind + goto(blk.target))
+            return out
+        out.append(f"{ind}if {cond}:")
+        out.append(f"{ind}    takens[{blk.index}] += 1")
+        out.append(f"{ind}    " + goto(blk.target))
+        out.append(f"{ind}else:")
+        out.append(f"{ind}    " + goto(blk.fallthrough))
+        return out
+
+    # -------------------------------------------------------------- running
+    def run(self, cpu: CPU, max_instructions: int) -> ExecutionStats:
+        """Run ``cpu`` to HALT; interpreter-identical semantics."""
+        counts = [0] * len(self.blocks)
+        takens = [0] * len(self.blocks)
+        executed = 0
+        try:
+            while not cpu.halted:
+                if executed >= max_instructions:
+                    raise ExecutionError(
+                        f"exceeded {max_instructions} instructions "
+                        "without HALT"
+                    )
+                entry = self._leader_to_block.get(cpu.pc)
+                if entry is not None:
+                    done = self._fn(
+                        cpu, entry, max_instructions, executed,
+                        counts, takens,
+                    )
+                    if done > executed:
+                        executed = done
+                        continue
+                # mid-block pc or a block too big for the remaining budget:
+                # single-step the oracle so errors and truncation are
+                # bit-identical (step() maintains stats itself, and block
+                # counters never cover interpreted instructions)
+                cpu.step()
+                executed += 1
+        finally:
+            accumulate_block_stats(cpu.stats, self.blocks, counts, takens)
+        return cpu.stats

@@ -72,11 +72,17 @@ def profile_ddc(
     input_samples: np.ndarray | None = None,
     spill_slots: bool = True,
     lut_bits: int = 10,
+    engine: str = "auto",
 ) -> RegionProfile:
     """Generate, assemble and execute the DDC; return the region profile.
 
     ``n_samples`` defaults to one full output period (2688 inputs) so every
     region, including the FIR summation, executes at its steady-state rate.
+
+    ``engine`` selects the execution strategy (see
+    :meth:`~repro.archs.gpp.cpu.CPU.run`); the default ``"auto"`` runs the
+    vectorised DDC kernel, which is >100x faster than the seed interpreter
+    (``engine="interp"``) with bit-identical statistics and outputs.
     """
     if n_samples is None:
         n_samples = (
@@ -100,7 +106,7 @@ def profile_ddc(
     cpu = CPU(program)
     for base, words in build_memory_image(layout, input_samples).items():
         cpu.load_memory(base, words)
-    stats = cpu.run(max_instructions=400 * n_samples + 10_000)
+    stats = cpu.run(max_instructions=400 * n_samples + 10_000, engine=engine)
 
     steady = {r: stats.region_cycles.get(r, 0) for r in DDC_REGIONS}
     total = sum(steady.values())

@@ -27,7 +27,12 @@ from .alu import ALUOp, MontiumALU
 from .memory import LocalMemory, RegisterFile
 from .program import CycleOps, TileProgram, estimate_config_bytes
 from .tile import MontiumTile
-from .ddc_mapping import build_ddc_schedule, DDCMappingResult, run_ddc_on_tile
+from .ddc_mapping import (
+    DDCMappingResult,
+    DDCScheduleMeta,
+    build_ddc_schedule,
+    run_ddc_on_tile,
+)
 from .schedule import OccupancyReport, render_figure9
 from .model import MontiumModel, MONTIUM_SPEC
 
@@ -42,6 +47,7 @@ __all__ = [
     "MontiumTile",
     "build_ddc_schedule",
     "DDCMappingResult",
+    "DDCScheduleMeta",
     "run_ddc_on_tile",
     "OccupancyReport",
     "render_figure9",

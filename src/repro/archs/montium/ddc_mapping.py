@@ -60,6 +60,24 @@ CIC2_OUT_SHIFT = 6    # 16-bit comb word -> 10-bit CIC5 input
 CIC5_OUT_SHIFT = 16   # 32-bit comb word -> 16-bit FIR input
 
 
+@dataclass(frozen=True)
+class DDCScheduleMeta:
+    """Shape of the DDC schedule, for the block engine.
+
+    Attached to the :class:`~repro.archs.montium.program.TileProgram` by
+    :func:`build_ddc_schedule`; :func:`~repro.archs.montium.block.
+    process_ddc_block` uses it to vectorise execution.  The contract is
+    pinned bit-for-bit by the stepped-vs-block Hypothesis suite in
+    ``tests/test_fast_engine.py``.
+    """
+
+    d2: int                 # sub-period (CIC2 comb every d2 cycles)
+    macro: int              # macro period (CIC5 comb + FIR every macro)
+    mix_shift: int
+    cic2_out_shift: int
+    cic5_out_shift: int
+
+
 def build_ddc_schedule(config: DDCConfig = REFERENCE_DDC) -> TileProgram:
     """Construct the 336-cycle steady-state schedule."""
     if config.cic2_decimation != 16 or config.cic5_decimation != 21:
@@ -194,7 +212,18 @@ def build_ddc_schedule(config: DDCConfig = REFERENCE_DDC) -> TileProgram:
             ops[3] = fir_op("I", 3)
             ops[4] = fir_op("Q", 4)
         cycles.append(ops)
-    return TileProgram(cycles, name="ddc")
+    program = TileProgram(cycles, name="ddc")
+    # Metadata for the vectorised block engine (see montium.block): the
+    # schedule positions of every event class, so process_block() can
+    # replay an arbitrary cycle window without stepping.
+    program.ddc_meta = DDCScheduleMeta(
+        d2=d2,
+        macro=macro,
+        mix_shift=MIX_SHIFT,
+        cic2_out_shift=CIC2_OUT_SHIFT,
+        cic5_out_shift=CIC5_OUT_SHIFT,
+    )
+    return program
 
 
 @dataclass
@@ -229,12 +258,17 @@ def run_ddc_on_tile(
     samples: np.ndarray,
     config: DDCConfig = REFERENCE_DDC,
     fir_taps: np.ndarray | None = None,
+    mode: str = "block",
 ) -> DDCMappingResult:
     """Execute the DDC mapping functionally over raw 12-bit input samples.
 
     The NCO frequency is quantised to a multiple of fs / LUT_WORDS (the
     AGU steps an integer stride per cycle); outputs interleave I and Q in
     ``tile.outputs`` and are returned separated.
+
+    ``mode="block"`` (default) runs the vectorised block engine —
+    bit-identical to ``mode="step"`` (the per-cycle oracle, the seed
+    path), including cycle counts, ALU utilisation and all tile state.
     """
     samples = np.asarray(samples)
     if not np.issubdtype(samples.dtype, np.integer):
@@ -264,7 +298,12 @@ def run_ddc_on_tile(
             [int(v) for v in to_fixed(np.sin(2 * np.pi * grid), q15)]
         )
     tile.load_inputs([int(v) for v in samples])
-    tile.run(program, len(samples))
+    if mode == "block":
+        tile.process_block(program, len(samples))
+    elif mode == "step":
+        tile.run(program, len(samples))
+    else:
+        raise ConfigurationError(f"unknown mode {mode!r}")
     out = np.array(tile.outputs, dtype=np.int64)
     return DDCMappingResult(
         i=out[0::2].copy() if out.size else out,

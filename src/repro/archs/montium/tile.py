@@ -200,6 +200,28 @@ class MontiumTile:
         for _ in range(cycles):
             self.step(program)
 
+    def process_block(self, program: TileProgram, cycles: int) -> None:
+        """Execute ``cycles`` cycles on the fast path where possible.
+
+        Programs carrying DDC schedule metadata (built by
+        :func:`~repro.archs.montium.ddc_mapping.build_ddc_schedule`) run
+        through the vectorised block engine of
+        :mod:`~repro.archs.montium.block` — bit-identical state, outputs,
+        cycle counts and ALU utilisation, ~2 orders of magnitude faster.
+        Other programs (and windows that would underrun the input stream,
+        which must raise at the exact stepped cycle) fall back to
+        :meth:`run`.  Block and stepped execution interleave freely on one
+        tile: the engine resumes from any point in the macro period.
+        """
+        if cycles < 0:
+            raise ConfigurationError("cycles must be >= 0")
+        from .block import can_process_block, process_ddc_block
+
+        if can_process_block(self, program, cycles):
+            process_ddc_block(self, program, cycles)
+        else:
+            self.run(program, cycles)
+
     def reset(self) -> None:
         """Clear all state and statistics."""
         for m in self.memories.values():

@@ -62,6 +62,14 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
 
     if committed is not None:
+        # Write the measured report too (to a separate default name so the
+        # committed baseline is never clobbered) — CI publishes it as a
+        # workflow artifact, making the perf trajectory inspectable per-PR.
+        out = args.output
+        if out == "BENCH_dsp.json":
+            out = "bench-measured.json"
+        write_report(out, results, quick=args.quick)
+        print(f"\nwrote {out}")
         failures = check_regression(
             results, committed, max_regression=args.max_regression
         )
@@ -70,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
             for f in failures:
                 print(f"  - {f}", file=sys.stderr)
             return 1
-        print(f"\nregression check against {args.check}: OK")
+        print(f"regression check against {args.check}: OK")
         return 0
 
     write_report(args.output, results, quick=args.quick)

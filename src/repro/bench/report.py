@@ -57,10 +57,14 @@ def load_report(path: str | Path) -> dict:
     return doc
 
 
+#: Benches guarded by CI: every architecture's fast path.
+GUARDED_BENCHES = ("rtl_ddc", "gpp_ddc", "montium_ddc")
+
+
 def check_regression(
     results: dict[str, BenchResult],
     committed: dict,
-    names: tuple[str, ...] = ("rtl_ddc",),
+    names: tuple[str, ...] = GUARDED_BENCHES,
     max_regression: float = 0.30,
 ) -> list[str]:
     """Compare current throughput against the committed baseline file.

@@ -59,13 +59,21 @@ def enumerate_plans(
     fir_range: tuple[int, int] = (2, 16),
     min_rejection_db: float = 50.0,
     fir_taps: int = 125,
+    workers: int | None = None,
 ) -> list[DecimationPlan]:
-    """All valid plans for ``spec``, best (lowest cost) first."""
+    """All valid plans for ``spec``, best (lowest cost) first.
+
+    ``workers`` evaluates candidate splits on a thread pool (see
+    :mod:`repro.parallel`); the result is identical to the serial sweep —
+    candidates are generated and kept in deterministic order and the final
+    sort is stable.
+    """
     from ..archs.asic.lowpower import LowPowerDDCModel
+    from ..parallel import parallel_map
 
     total = spec.total_decimation
     cost_model = LowPowerDDCModel()
-    plans: list[DecimationPlan] = []
+    candidates: list[tuple[int, int, int]] = []
     for fir in _divisors(total):
         if not fir_range[0] <= fir <= fir_range[1]:
             continue
@@ -76,22 +84,29 @@ def enumerate_plans(
                 continue
             if cic2 > 64 or cic5 > 512:
                 continue
-            try:
-                config = spec.to_config(cic2, cic5, fir, fir_taps)
-            except ConfigurationError:
-                continue
-            rejection = _chain_rejection(config, spec.bandwidth_hz)
-            if rejection < min_rejection_db:
-                continue
-            if not cost_model.supports(config):
-                continue
-            try:
-                cost = cost_model.estimate_power_w(config)
-            except ConfigurationError:
-                continue
-            plans.append(
-                DecimationPlan(cic2, cic5, fir, cost, rejection)
-            )
+            candidates.append((cic2, cic5, fir))
+
+    def evaluate(split: tuple[int, int, int]) -> DecimationPlan | None:
+        cic2, cic5, fir = split
+        try:
+            config = spec.to_config(cic2, cic5, fir, fir_taps)
+        except ConfigurationError:
+            return None
+        rejection = _chain_rejection(config, spec.bandwidth_hz)
+        if rejection < min_rejection_db:
+            return None
+        if not cost_model.supports(config):
+            return None
+        try:
+            cost = cost_model.estimate_power_w(config)
+        except ConfigurationError:
+            return None
+        return DecimationPlan(cic2, cic5, fir, cost, rejection)
+
+    plans = [
+        p for p in parallel_map(evaluate, candidates, workers=workers)
+        if p is not None
+    ]
     plans.sort(key=lambda p: p.cost)
     return plans
 

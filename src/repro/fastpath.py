@@ -1,0 +1,47 @@
+"""Shared numpy primitives for the vectorised fast engines.
+
+The block/trace engines (:mod:`repro.archs.gpp.ddc_kernel`,
+:mod:`repro.archs.montium.block`) replay fixed-point hardware arithmetic
+over whole sample blocks.  Their bit-identity contracts all rest on the
+same two primitives, kept here in one place so a fix to either cannot
+drift between architectures:
+
+- :func:`wrap16` / :func:`wrap32` — vectorised two's-complement wrapping
+  (``& mask`` then signed re-bias), valid for scalars and int64 arrays;
+- :func:`delay_chain` — a one-event delay line seeded with the carried
+  register value, the building block of every comb stage.
+
+Why prefix sums are safe: a chain of wrapped additions
+``s[t] = wrapN(s[t-1] + x[t])`` equals ``wrapN(s[-1] + cumsum(x)[t])``
+because wrapping only discards multiples of ``2**N`` — so the engines may
+``cumsum`` in int64 first and wrap once, as long as the unwrapped partial
+sums stay inside int64 (all DDC streams do by a wide margin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_M16 = np.int64(0xFFFF)
+_H16 = np.int64(1 << 15)
+_M32 = np.int64(0xFFFFFFFF)
+_H32 = np.int64(1 << 31)
+
+
+def wrap16(a):
+    """Vectorised signed 16-bit two's-complement wrap."""
+    return ((a + _H16) & _M16) - _H16
+
+
+def wrap32(a):
+    """Vectorised signed 32-bit two's-complement wrap."""
+    return ((a + _H32) & _M32) - _H32
+
+
+def delay_chain(x: np.ndarray, init: int) -> np.ndarray:
+    """``x`` delayed by one element, seeded with ``init``."""
+    out = np.empty_like(x)
+    if len(x):
+        out[0] = init
+        out[1:] = x[:-1]
+    return out

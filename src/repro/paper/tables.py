@@ -158,15 +158,19 @@ def table4() -> TableResult:
     )
 
 
-def table5() -> TableResult:
-    """Table 5: Cyclone I power vs internal toggle rate."""
+def table5(workers: int | None = None) -> TableResult:
+    """Table 5: Cyclone I power vs internal toggle rate.
+
+    ``workers`` parallelises the toggle-rate sweep (deterministic output
+    order either way; see :mod:`repro.parallel`).
+    """
     from ..archs.fpga.devices import CYCLONE_I_EP1C3
     from ..archs.fpga.power import FPGAPowerModel
     from ..archs.fpga.resources import estimate_ddc_resources
 
     usage = estimate_ddc_resources(CYCLONE_I_EP1C3)
     model = FPGAPowerModel(CYCLONE_I_EP1C3)
-    sweep = model.table5_sweep(usage)
+    sweep = model.table5_sweep(usage, workers=workers)
     rows = [
         ("Total Thermal Power Dissipation",
          *(f"{b.total_mw:.1f} mW" for _, b in sweep)),

@@ -1,0 +1,49 @@
+"""Deterministic parallel mapping for sweep workloads.
+
+The Table 5 power sweep, the decimation-plan enumeration and the ablation
+benches are embarrassingly parallel: independent evaluations of a pure
+function over a parameter grid.  :func:`parallel_map` gives them a shared
+``workers=`` knob backed by :class:`concurrent.futures.ThreadPoolExecutor`.
+
+Guarantees:
+
+- **Deterministic ordering** — results come back in input order
+  (``Executor.map`` semantics), so a parallel sweep is byte-identical to
+  the serial one regardless of completion order;
+- ``workers=None`` or ``workers=1`` runs serially in the caller's thread
+  (no executor, no thread-switch overhead) — the default everywhere, so
+  parallelism is opt-in;
+- exceptions propagate exactly as in the serial case (the first failing
+  item raises when its result is consumed, in input order).
+
+Threads (not processes) are the right pool here: the sweep bodies are
+numpy/closed-form dominated and the work items close over live model
+objects that are not picklable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]`` with an optional thread pool.
+
+    ``workers`` is clamped to the number of items; values of ``None``,
+    ``0`` or ``1`` run serially.
+    """
+    seq: Sequence[T] = list(items)
+    if not seq:
+        return []
+    if not workers or workers <= 1 or len(seq) == 1:
+        return [fn(x) for x in seq]
+    with ThreadPoolExecutor(max_workers=min(workers, len(seq))) as pool:
+        return list(pool.map(fn, seq))

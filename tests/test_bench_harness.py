@@ -59,12 +59,30 @@ class TestRegressionCheck:
 
     def test_pass_when_fast_enough(self):
         results = {"rtl_ddc": _result("rtl_ddc", 8e6)}
-        assert check_regression(results, self._committed(1e7)) == []
+        assert check_regression(
+            results, self._committed(1e7), names=("rtl_ddc",)
+        ) == []
+
+    def test_default_guard_covers_every_fast_path(self):
+        """CI guards all three architecture fast paths by default."""
+        from repro.bench.report import GUARDED_BENCHES
+
+        assert GUARDED_BENCHES == ("rtl_ddc", "gpp_ddc", "montium_ddc")
+        # all three must be present on both sides, or the guard fails
+        results = {n: _result(n, 1e6) for n in GUARDED_BENCHES}
+        committed = {
+            "schema": SCHEMA,
+            "benches": {n: {"samples_per_sec": 1e6} for n in GUARDED_BENCHES},
+        }
+        assert check_regression(results, committed) == []
+        del results["montium_ddc"]
+        assert check_regression(results, committed) != []
 
     def test_fail_beyond_threshold(self):
         results = {"rtl_ddc": _result("rtl_ddc", 6e6)}
         failures = check_regression(
-            results, self._committed(1e7), max_regression=0.30
+            results, self._committed(1e7), names=("rtl_ddc",),
+            max_regression=0.30,
         )
         assert len(failures) == 1 and "rtl_ddc" in failures[0]
 
@@ -81,18 +99,20 @@ class TestRegressionCheck:
         }
         # Half the absolute throughput, but the block-vs-cycle ratio held.
         results = {"rtl_ddc": _result("rtl_ddc", 5e6, baseline=5e6 / 88.0)}
-        assert check_regression(results, committed) == []
+        assert check_regression(results, committed, names=("rtl_ddc",)) == []
         # Ratio collapsed too: a genuine engine regression.
         results = {"rtl_ddc": _result("rtl_ddc", 5e6, baseline=5e6 / 40.0)}
-        assert check_regression(results, committed) != []
+        assert check_regression(results, committed, names=("rtl_ddc",)) != []
 
     def test_custom_threshold(self):
         results = {"rtl_ddc": _result("rtl_ddc", 9.6e6)}
         assert check_regression(
-            results, self._committed(1e7), max_regression=0.05
+            results, self._committed(1e7), names=("rtl_ddc",),
+            max_regression=0.05,
         ) == []
         assert check_regression(
-            results, self._committed(1e7), max_regression=0.01
+            results, self._committed(1e7), names=("rtl_ddc",),
+            max_regression=0.01,
         ) != []
 
 

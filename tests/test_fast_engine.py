@@ -1,6 +1,6 @@
 """Equivalence suite for the fast-execution engine.
 
-Three families of guarantees:
+Five families of guarantees:
 
 1. block-mode RTL components == the bit-true numpy models == the
    cycle-accurate RTL, sample for sample, under arbitrary block splits;
@@ -8,7 +8,14 @@ Three families of guarantees:
    interpretation of the same design (identical wire traces *and* toggle
    counts), with ``activity=False`` latching identically;
 3. the block-mode RTLDDC reconstructs the cycle-accurate activity report
-   exactly, not just approximately.
+   exactly, not just approximately;
+4. the GPP fast engines (basic-block compiler and vectorised DDC kernel)
+   == the per-instruction interpreter: same registers, flags, memory and
+   bit-identical ``ExecutionStats`` — for random programs and for the
+   generated DDC at arbitrary sample counts;
+5. the Montium block engine == the stepped tile: same outputs, env,
+   memories, cycle counts, busy-cycle occupancy and ALU utilisation,
+   under arbitrary (odd) block splits and mid-macro-period resumes.
 """
 
 from __future__ import annotations
@@ -351,3 +358,410 @@ class TestBlockHelpers:
         w.drive(np.int64(-5))
         w.commit()
         assert w.value == -5 and isinstance(w.value, int)
+
+
+# --------------------------------------------------------------------------
+# 5. GPP fast engines vs the per-instruction interpreter
+# --------------------------------------------------------------------------
+
+from repro.archs.gpp import CPU, Program, WordMemory, assemble
+from repro.archs.gpp.codegen import build_memory_image, generate_ddc_program
+from repro.archs.gpp.engine import CompiledProgram, discover_blocks
+from repro.errors import ExecutionError
+
+
+def _fresh_cpu(program, images=(), regs=None):
+    cpu = CPU(program)
+    for base, words in images:
+        cpu.load_memory(base, words)
+    if regs is not None:
+        cpu.regs[:] = regs
+    return cpu
+
+
+def _gpp_state(cpu):
+    return (
+        list(cpu.regs),
+        cpu.flag_n,
+        cpu.flag_z,
+        cpu.pc,
+        cpu.halted,
+        cpu.memory.nonzero_items(),
+    )
+
+
+def _stats_tuple(stats):
+    return (
+        stats.instructions,
+        stats.cycles,
+        dict(stats.region_instructions),
+        dict(stats.region_cycles),
+    )
+
+
+def _assert_engines_match(program, images=(), regs=None,
+                          max_instructions=200_000,
+                          engines=("blocks", "auto")):
+    ref = _fresh_cpu(program, images, regs)
+    ref_err = None
+    try:
+        ref.run(max_instructions=max_instructions, engine="interp")
+    except ExecutionError as exc:
+        ref_err = str(exc)
+    for engine in engines:
+        got = _fresh_cpu(program, images, regs)
+        got_err = None
+        try:
+            got.run(max_instructions=max_instructions, engine=engine)
+        except ExecutionError as exc:
+            got_err = str(exc)
+        assert got_err == ref_err, engine
+        assert _gpp_state(got) == _gpp_state(ref), engine
+        assert _stats_tuple(got.stats) == _stats_tuple(ref.stats), engine
+
+
+# a small random-program generator: arbitrary straight-line ALU/memory
+# work, forward branches, and bounded counted loops — always terminates
+_gpp_ops3 = ("add", "sub", "rsb", "and", "orr", "eor", "mul",
+             "lsl", "lsr", "asr", "adds", "subs")
+
+_reg = st.integers(0, 7)
+_imm = st.integers(-(2**33), 2**33)  # deliberately wider than a word
+# mostly small offsets, sometimes unwrapped-vs-wrapped-distinguishing ones
+_mem_offset = st.one_of(
+    st.integers(-40, 120),
+    st.sampled_from([2**31, 2**32, 2**33 + 7, -(2**31) - 5]),
+)
+
+
+@st.composite
+def _random_programs(draw):
+    lines = []
+    n_chunks = draw(st.integers(1, 4))
+    for chunk in range(n_chunks):
+        lines.append(f"chunk{chunk}:")
+        for _ in range(draw(st.integers(1, 8))):
+            kind = draw(st.integers(0, 5))
+            rd, rn, rm = draw(_reg), draw(_reg), draw(_reg)
+            if kind == 0:
+                lines.append(f"  mov r{rd}, #{draw(_imm)}")
+            elif kind == 1:
+                op = draw(st.sampled_from(_gpp_ops3))
+                if draw(st.booleans()):
+                    lines.append(f"  {op} r{rd}, r{rn}, r{rm}")
+                else:
+                    lines.append(f"  {op} r{rd}, r{rn}, #{draw(_imm)}")
+            elif kind == 2:
+                lines.append(f"  mla r{rd}, r{rn}, r{rm}, r{draw(_reg)}")
+            elif kind == 3:
+                addr = draw(_mem_offset)
+                if draw(st.booleans()):
+                    lines.append(f"  str r{rd}, [r{rn}, #{addr}]")
+                else:
+                    lines.append(f"  str r{rd}, [r{rn}], #{addr}")
+            elif kind == 4:
+                addr = draw(_mem_offset)
+                if draw(st.booleans()):
+                    lines.append(f"  ldr r{rd}, [r{rn}, #{addr}]")
+                else:
+                    lines.append(f"  ldr r{rd}, [r{rn}], #{addr}")
+            else:
+                lines.append(f"  cmp r{rn}, r{rm}")
+        # optional bounded counted loop over the chunk
+        if draw(st.booleans()):
+            trip = draw(st.integers(1, 5))
+            lines.insert(-draw(st.integers(1, 2)), f"  mov r8, #{trip}")
+            lines.append("  subs r8, r8, #1")
+            lines.append(f"  bne chunk{chunk}_body")
+            # loop back to a dedicated label so the trip count is exact
+            body_at = lines.index(f"chunk{chunk}:") + 1
+            lines.insert(body_at, f"chunk{chunk}_body:")
+        # optional forward conditional branch to the next chunk / end
+        if draw(st.booleans()):
+            cond = draw(st.sampled_from(["beq", "bne", "bgt", "blt",
+                                         "bge", "ble"]))
+            target = f"chunk{chunk + 1}" if chunk + 1 < n_chunks else "fin"
+            lines.append(f"  {cond} {target}")
+    lines.append("fin:")
+    lines.append("  halt")
+    return "\n".join(lines)
+
+
+class TestGPPEngineEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(source=_random_programs(),
+           regs=st.lists(st.integers(-(2**31), 2**31 - 1),
+                         min_size=16, max_size=16))
+    def test_random_programs_full_state(self, source, regs):
+        """Random programs: identical regs, flags, memory and stats."""
+        program = assemble(source)
+        _assert_engines_match(program, regs=regs, engines=("blocks",))
+
+    @settings(max_examples=20, deadline=None)
+    @given(source=_random_programs(), budget=st.integers(0, 40))
+    def test_truncation_is_bit_identical(self, source, budget):
+        """A tiny instruction budget truncates at the same instruction
+        with the same partial statistics and the same error."""
+        program = assemble(source)
+        _assert_engines_match(program, max_instructions=budget,
+                              engines=("blocks",))
+
+    @settings(max_examples=6, deadline=None)
+    @given(n=st.sampled_from([1, 15, 16, 271, 336, 337, 672, 2689]),
+           spill=st.booleans())
+    def test_generated_ddc_all_engines(self, n, spill):
+        """The generated DDC: kernel == blocks == interpreter, any n."""
+        program, layout = generate_ddc_program(
+            n_samples=n, spill_slots=spill
+        )
+        rng = np.random.default_rng(n)
+        x = rng.integers(-2048, 2048, size=n).astype(np.int64)
+        images = sorted(build_memory_image(layout, x).items())
+        _assert_engines_match(
+            program, images=images, max_instructions=400 * n + 10_000
+        )
+
+    def test_preloaded_filter_state_reaches_kernel(self):
+        """The kernel must honour arbitrary preloaded state words."""
+        from repro.archs.gpp.ddc_kernel import run_ddc_kernel
+
+        n = 672
+        program, layout = generate_ddc_program(n_samples=n)
+        rng = np.random.default_rng(7)
+        x = rng.integers(-2048, 2048, size=n).astype(np.int64)
+        images = sorted(build_memory_image(layout, x).items())
+        state_words = list(rng.integers(-2**31, 2**31 - 1, size=16))
+        state_words[12] = 37  # FIR write index must stay in [0, taps)
+        state = [(0x8000, state_words)]
+        # the vectorised kernel must actually take this input (a widx
+        # outside the ring makes it decline and fall back)
+        probe = _fresh_cpu(program, images + state)
+        assert run_ddc_kernel(probe, 400 * n + 10_000)
+        _assert_engines_match(program, images=images + state,
+                              max_instructions=400 * n + 10_000)
+
+    def test_out_of_range_preloaded_widx_falls_back(self):
+        """A preloaded FIR index outside the ring declines the kernel but
+        still executes identically through the block engine."""
+        from repro.archs.gpp.ddc_kernel import run_ddc_kernel
+
+        n = 336
+        program, layout = generate_ddc_program(n_samples=n)
+        x = np.zeros(n, dtype=np.int64)
+        images = sorted(build_memory_image(layout, x).items())
+        state = [(0x8000 + 12, [999])]
+        probe = _fresh_cpu(program, images + state)
+        assert not run_ddc_kernel(probe, 400 * n + 10_000)
+        _assert_engines_match(program, images=images + state,
+                              max_instructions=400 * n + 10_000)
+
+    def test_profiler_fast_path_is_bit_identical(self):
+        """profile_ddc(engine='auto') == the seed interpreter output."""
+        from repro.archs.gpp import profile_ddc
+
+        fast = profile_ddc(n_samples=2688, engine="auto")
+        slow = profile_ddc(n_samples=2688, engine="interp")
+        assert _stats_tuple(fast.stats) == _stats_tuple(slow.stats)
+        assert fast.region_fractions == slow.region_fractions
+        np.testing.assert_array_equal(fast.out_samples, slow.out_samples)
+
+    def test_unknown_engine_rejected(self):
+        program = assemble("halt")
+        with pytest.raises(ExecutionError):
+            CPU(program).run(engine="nope")
+
+    def test_block_discovery_covers_program(self):
+        program, _ = generate_ddc_program(n_samples=16)
+        blocks = discover_blocks(program)
+        covered = sorted(
+            pc for b in blocks for pc in range(b.start, b.end)
+        )
+        assert covered == list(range(len(program)))
+
+    def test_compiled_program_reused_across_runs(self):
+        program = assemble("mov r0, #1\nhalt")
+        cpu = CPU(program)
+        cpu.run(engine="blocks")
+        first = program._compiled
+        assert isinstance(first, CompiledProgram)
+        again = CPU(program)
+        again.run(engine="blocks")
+        assert program._compiled is first  # cached, not recompiled
+
+
+class TestWordMemoryBoundary:
+    """Regression tests for the load/read/store coercion fix."""
+
+    def test_negative_addresses_do_not_alias(self):
+        mem = WordMemory(capacity=64)
+        mem.write(63, 111)
+        mem.write(-1, 222)
+        assert mem.read(63) == 111
+        assert mem.read(-1) == 222
+        assert mem.nonzero_items() == {63: 111, -1: 222}
+
+    def test_str_negative_address_roundtrips_through_ldr(self):
+        src = """
+          mov r1, #-5
+          mov r2, #77
+          str r2, [r1]
+          ldr r3, [r1]
+          halt
+        """
+        program = assemble(src)
+        cpu = CPU(program)
+        cpu.run()
+        assert cpu.regs[3] == 77
+        assert cpu.read_memory(-5) == 77
+        # and the word did not land at any wrapped/aliased address
+        assert cpu.read_memory(cpu.memory.capacity - 5) == 0
+
+    def test_values_wrapped_once_at_the_boundary(self):
+        mem = WordMemory()
+        mem.write(0, 2**31)  # wraps negative, same as load_memory
+        mem.load(1, [2**31])
+        assert mem.read(0) == mem.read(1) == -(2**31)
+        mem.write(-3, np.int64(2**33 + 5))  # spill path wraps too
+        assert mem.read(-3) == 5
+
+    def test_bulk_load_grows_dense_array(self):
+        mem = WordMemory(capacity=16)
+        mem.write(100, 9)  # spills
+        mem.load(90, list(range(20)))  # grows past both
+        assert mem.capacity >= 110
+        assert mem.read(100) == 10  # load overwrote the spilled word
+        assert mem._spill == {}
+
+    def test_bulk_load_beyond_dense_cap_stays_sparse(self):
+        """A load at a huge base must not allocate a huge dense array."""
+        mem = WordMemory(capacity=16)
+        mem.load(1 << 30, [5, 6])
+        assert mem.capacity == 16  # unchanged — no gigabyte zero-fill
+        assert mem.read((1 << 30) + 1) == 6
+        assert mem.nonzero_items() == {1 << 30: 5, (1 << 30) + 1: 6}
+
+    def test_numpy_scalars_normalised(self):
+        mem = WordMemory()
+        mem.write(np.int64(5), np.int64(-7))
+        assert mem.read(np.int64(5)) == -7
+        assert mem.read(5) == -7
+
+
+# --------------------------------------------------------------------------
+# 6. Montium block engine vs the stepped tile
+# --------------------------------------------------------------------------
+
+from repro.archs.montium import MontiumTile, build_ddc_schedule, run_ddc_on_tile
+from repro.archs.montium.ddc_mapping import _load_tile
+from repro.dsp.firdesign import reference_fir_taps
+
+
+def _fresh_tile(samples):
+    cfg = REFERENCE_DDC
+    fir_rate = cfg.input_rate_hz / (16 * 21)
+    taps = reference_fir_taps(cfg.fir_taps, fir_rate, cfg.output_rate_hz)
+    program = build_ddc_schedule(cfg)
+    tile = MontiumTile()
+    _load_tile(tile, cfg, np.asarray(taps))
+    tile.load_inputs([int(v) for v in samples])
+    return tile, program
+
+
+def _tile_state(tile):
+    return {
+        "env": dict(tile.env),
+        "outputs": list(tile.outputs),
+        "cycle": tile.cycle,
+        "in_pos": tile._in_pos,
+        "busy": {k: dict(v) for k, v in tile.busy_cycles.items()},
+        "alus": [(a.ops_executed, a.mul_count) for a in tile.alus],
+        "mems": {
+            m.name: (list(m._data), m.addr, m.reads, m.writes)
+            for m in tile.memories.values()
+        },
+        "util": tile.alu_utilisation(),
+    }
+
+
+montium_samples = st.lists(
+    st.integers(-2048, 2047), min_size=1, max_size=1200
+)
+
+
+class TestMontiumBlockEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(samples=montium_samples,
+           cuts=st.lists(st.integers(0, 10_000), max_size=4))
+    def test_block_splits_match_stepped(self, samples, cuts):
+        """Arbitrary sample blocks, arbitrary (odd) split points."""
+        stepped, prog_a = _fresh_tile(samples)
+        stepped.run(prog_a, len(samples))
+
+        blocked, prog_b = _fresh_tile(samples)
+        for part in _split(np.asarray(samples, dtype=np.int64), cuts):
+            blocked.process_block(prog_b, len(part))
+        assert _tile_state(blocked) == _tile_state(stepped)
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(1, 900), k=st.integers(1, 899))
+    def test_step_then_block_resumes_mid_macro(self, n, k):
+        """Stepping and block mode interleave on one tile."""
+        k = min(k, n)
+        stepped, prog_a = _fresh_tile(range(n))
+        stepped.run(prog_a, n)
+
+        mixed, prog_b = _fresh_tile(range(n))
+        mixed.run(prog_b, k)          # oracle up to an arbitrary cycle
+        mixed.process_block(prog_b, n - k)  # fast path for the rest
+        assert _tile_state(mixed) == _tile_state(stepped)
+
+    def test_full_run_matches_and_emits(self):
+        cfg = REFERENCE_DDC
+        n = 2688 * 3
+        x = quantize_to_adc(
+            tone(n, cfg.nco_frequency_hz + 5e3, cfg.input_rate_hz, 0.8), 12
+        )
+        blk = run_ddc_on_tile(x, mode="block")
+        stp = run_ddc_on_tile(x, mode="step")
+        np.testing.assert_array_equal(blk.i, stp.i)
+        np.testing.assert_array_equal(blk.q, stp.q)
+        assert blk.cycles == stp.cycles == n
+        assert blk.tile.alu_utilisation() == stp.tile.alu_utilisation()
+
+    def test_underrun_falls_back_to_stepped_error(self):
+        """Asking for more cycles than inputs raises exactly as stepping
+        does — at the cycle the stream runs dry."""
+        tile, prog = _fresh_tile([1, 2, 3])
+        with pytest.raises(SimulationError):
+            tile.process_block(prog, 10)
+        assert tile.cycle == 3  # three cycles completed before the stall
+
+    def test_non_ddc_program_falls_back(self):
+        from repro.archs.montium import ALUOp
+        from repro.archs.montium.alu import Level1Fn
+        from repro.archs.montium.program import TileProgram
+
+        tile = MontiumTile()
+        op = ALUOp("copy", level1=(Level1Fn.PASS_A,),
+                   sources=("ext:in",), dests=("ext:out",))
+        tile.load_inputs([7, 8, 9])
+        tile.process_block(TileProgram([{0: op}]), 3)
+        assert tile.outputs == [7, 8, 9]
+
+    def test_measured_occupancy_matches_static_in_block_mode(self):
+        from repro.archs.montium.schedule import (
+            analyze_schedule,
+            measured_occupancy,
+        )
+
+        n = 2688 * 2
+        x = np.arange(n) % 1000 - 500
+        res = run_ddc_on_tile(x.astype(np.int64), mode="block")
+        static = analyze_schedule(res.program)
+        dynamic = measured_occupancy(res.tile)
+        for row in static.rows:
+            got = dynamic.by_label(row.label)
+            assert got.n_alus == row.n_alus
+            assert got.percent_of_time == pytest.approx(
+                row.percent_of_time, abs=0.2
+            )

@@ -1,0 +1,62 @@
+"""Unit tests pinning the repro.parallel.parallel_map contract."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.parallel import parallel_map
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        """Results come back in input order even when completion order
+        is scrambled (later items finish first)."""
+        import time
+
+        def slow_for_small(x):
+            time.sleep(0.02 if x < 3 else 0.0)
+            return x * 10
+
+        items = list(range(6))
+        assert parallel_map(slow_for_small, items, workers=6) == [
+            x * 10 for x in items
+        ]
+
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_serial_fallback_runs_in_caller_thread(self, workers):
+        seen = []
+
+        def fn(x):
+            seen.append(threading.current_thread())
+            return x + 1
+
+        assert parallel_map(fn, [1, 2, 3], workers=workers) == [2, 3, 4]
+        assert all(t is threading.main_thread() for t in seen)
+
+    def test_parallel_equals_serial(self):
+        items = list(range(37))
+        fn = lambda x: (x * x) % 11  # noqa: E731
+        assert parallel_map(fn, items, workers=8) == parallel_map(fn, items)
+
+    def test_empty_input(self):
+        assert parallel_map(lambda x: x, [], workers=4) == []
+
+    def test_workers_clamped_to_item_count(self):
+        # more workers than items must not error or reorder
+        assert parallel_map(lambda x: -x, [5], workers=64) == [-5]
+
+    @pytest.mark.parametrize("workers", [None, 4])
+    def test_exceptions_propagate(self, workers):
+        def boom(x):
+            if x == 2:
+                raise ValueError("item 2")
+            return x
+
+        with pytest.raises(ValueError, match="item 2"):
+            parallel_map(boom, [0, 1, 2, 3], workers=workers)
+
+    def test_generator_input_consumed_once(self):
+        gen = (x for x in (1, 2, 3))
+        assert parallel_map(lambda x: x * 2, gen, workers=2) == [2, 4, 6]
