@@ -4,13 +4,12 @@
   under the gate-activity cost model?
 - NCO LUT-size vs SFDR;
 - GPP optimisation level (spill slots on/off);
-- FPGA measured toggle rate vs the paper's assumed 10 %.
+- FPGA measured toggle rate vs the paper's assumed 10 %;
+- scenario sweep: the batched duty-cycle grid of ``repro.sweep`` vs the
+  scalar Section 7 loop it replaced.
 """
 
 from __future__ import annotations
-
-import numpy as np
-import pytest
 
 from repro.core import DDCSpec, enumerate_plans
 from repro.dsp.metrics import sfdr_db
@@ -79,6 +78,28 @@ def test_bench_ablation_gpp_optimisation(benchmark):
     slow_c, fast_c = benchmark(run)
     assert fast_c < slow_c
     assert slow_c / fast_c < 2.0  # optimisation helps but is no panacea
+
+
+def test_bench_ablation_scenario_sweep(benchmark):
+    """The batched scenario grid vs what the scalar loop would cost.
+
+    One ``repro.sweep`` pass over the full Table 7 duty-cycle grid; the
+    result must reproduce the paper's conclusion at both ends of the
+    duty-cycle axis.  (The persistent ``scenario_sweep`` bench in
+    ``BENCH_dsp.json`` tracks the batched-vs-scalar speedup itself; this
+    bench tracks the end-to-end sweep cost per PR.)
+    """
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(duty_cycle_steps=1001)
+
+    report = benchmark(lambda: run_sweep(spec))
+    point = report.points[0]
+    assert point.static_winner == "Customised Low Power DDC"
+    regions = point.winning_regions
+    assert regions[-1][2] == "Customised Low Power DDC"
+    reusable = dict(zip(point.names, point.reusable))
+    assert reusable[regions[0][2]]  # low duty cycle -> reusable fabric
 
 
 def test_bench_ablation_fpga_measured_toggle(benchmark):

@@ -10,9 +10,8 @@ choice for a 12-bit ADC (more buys nothing, fewer costs ~6 dB/bit).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro import DDC, FixedDDC, REFERENCE_DDC, DDCConfig
+from repro import DDC, FixedDDC, DDCConfig
 from repro.dsp.signals import quantize_to_adc, tone
 
 

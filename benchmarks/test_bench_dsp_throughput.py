@@ -7,7 +7,6 @@ implementation.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import DDC, FixedDDC, REFERENCE_DDC

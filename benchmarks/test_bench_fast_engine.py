@@ -9,7 +9,6 @@ relative numbers on the same paths.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import REFERENCE_DDC

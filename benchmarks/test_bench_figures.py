@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.config import REFERENCE_DDC
-from repro.dsp.signals import quantize_to_adc, tone
+from repro.dsp.signals import tone
 from repro.paper import figure1, figure2, figure3, figure4, figure8, figure9
 
 

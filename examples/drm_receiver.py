@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro import DDC, REFERENCE_DDC, DDCConfig
-from repro.dsp.metrics import tone_power_db
 from repro.dsp.signals import drm_like_ofdm, tone, white_noise
 
 STATIONS_HZ = (6.10e6, 9.50e6, 15.20e6)   # shortwave-ish carriers

@@ -23,6 +23,7 @@ from repro.archs.fpga import (
 from repro.config import REFERENCE_DDC
 from repro.dsp.signals import drm_like_ofdm, quantize_to_adc
 from repro.paper import table4, table5
+from repro.sweep import SweepSpec, run_sweep
 
 
 def main() -> None:
@@ -60,6 +61,16 @@ def main() -> None:
     b2 = FPGAPowerModel(CYCLONE_II_EP2C5).estimate(u2)
     print(f"Cyclone II at 10 % toggle: {b2.total_mw:.2f} mW "
           "(published: 57.98 mW)")
+
+    # Where does the FPGA actually win?  One batched pass of the scenario
+    # sweep subsystem answers the Section 7 question for every duty cycle
+    # at once (same grid as `python -m repro.sweep --summary`).
+    print("\nDuty-cycle scenario sweep (repro.sweep, batched):")
+    spec = SweepSpec(duty_cycle_steps=201)
+    report = run_sweep(spec)
+    for lo, hi, name in report.points[0].winning_regions:
+        marker = "  <-- FPGA" if "Cyclone" in name else ""
+        print(f"  {lo:6.1%} .. {hi:6.1%}  {name}{marker}")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import DDCConfig
 from ..energy.technology import TechnologyNode

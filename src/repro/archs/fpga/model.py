@@ -11,7 +11,7 @@ from __future__ import annotations
 from ...config import DDCConfig, REFERENCE_DDC
 from ...errors import MappingError
 from ..base import ArchitectureModel, Flexibility, ImplementationReport
-from .devices import CYCLONE_I_EP1C3, CYCLONE_II_EP2C5, FPGADevice
+from .devices import CYCLONE_II_EP2C5, FPGADevice
 from .power import FPGAPowerModel
 from .resources import estimate_ddc_resources, require_fit
 

@@ -97,6 +97,51 @@ class FPGAPowerModel:
             logic_w=logic_w,
         )
 
+    def estimate_batch(
+        self,
+        usage: ResourceUsage,
+        toggle_rates,
+        frequency_hz: float = 64_512_000.0,
+        input_toggle: float = 0.50,
+    ) -> list[PowerBreakdown]:
+        """Batched :meth:`estimate` over a whole toggle-rate grid.
+
+        One numpy pass instead of a Python loop; each breakdown is
+        bit-identical to the scalar estimate at the same point (same
+        operation order in float64).
+        """
+        import numpy as np
+
+        toggles = np.asarray(toggle_rates, dtype=np.float64)
+        if toggles.ndim != 1 or toggles.size == 0:
+            raise ConfigurationError(
+                "toggle_rates must be a non-empty one-dimensional grid"
+            )
+        if float(toggles.min()) < 0.0 or float(toggles.max()) > 1.0:
+            raise ConfigurationError("internal_toggle must be in [0, 1]")
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if not 0.0 <= input_toggle <= 1.0:
+            raise ConfigurationError("input_toggle must be in [0, 1]")
+        dev = self.device
+        f_ratio = frequency_hz / dev.calibration_frequency_hz
+        clock_w = 0.5 * dev.clock_io_power_w * f_ratio
+        io_w = 0.5 * dev.clock_io_power_w * f_ratio * (input_toggle / 0.5)
+        logic_w = (
+            dev.logic_power_w_per_le_hz_toggle
+            * usage.logic_elements
+            * frequency_hz
+            * toggles
+        )
+        return [
+            PowerBreakdown(
+                static_w=dev.static_power_w,
+                clock_io_w=clock_w + io_w,
+                logic_w=float(lw),
+            )
+            for lw in logic_w
+        ]
+
     def table5_sweep(
         self,
         usage: ResourceUsage,
@@ -106,15 +151,20 @@ class FPGAPowerModel:
     ) -> list[tuple[float, PowerBreakdown]]:
         """The Table 5 sweep: (toggle, breakdown) pairs.
 
-        ``workers`` fans the independent toggle-rate points out over a
-        thread pool (see :mod:`repro.parallel`); output order is the
-        input order either way.
+        Rides :meth:`estimate_batch` (one numpy pass); ``workers`` instead
+        fans scalar estimates out over a thread pool (see
+        :mod:`repro.parallel`).  Both paths produce bit-identical
+        breakdowns in input order.
         """
-        from ...parallel import parallel_map
+        if workers and workers > 1:
+            from ...parallel import parallel_map
 
-        breakdowns = parallel_map(
-            lambda t: self.estimate(usage, frequency_hz, internal_toggle=t),
-            toggle_rates,
-            workers=workers,
-        )
+            breakdowns = parallel_map(
+                lambda t: self.estimate(usage, frequency_hz,
+                                        internal_toggle=t),
+                toggle_rates,
+                workers=workers,
+            )
+        else:
+            breakdowns = self.estimate_batch(usage, toggle_rates, frequency_hz)
         return list(zip(toggle_rates, breakdowns))

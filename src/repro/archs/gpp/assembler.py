@@ -24,7 +24,7 @@ the paper's Table 3.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...errors import AssemblyError
 from .isa import BRANCHES, Instruction, Mnemonic, Operand

@@ -15,7 +15,7 @@ fixed word width.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...errors import ConfigurationError
 

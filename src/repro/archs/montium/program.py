@@ -12,7 +12,6 @@ compiles to a configuration file of 1110 bytes") from the number of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ...errors import ConfigurationError
 from .alu import ALUOp

@@ -28,7 +28,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from ...errors import ConfigurationError, SimulationError
-from .alu import ALUOp, MontiumALU
+from .alu import MontiumALU
 from .memory import LocalMemory, RegisterFile
 from .program import TileProgram
 

@@ -57,8 +57,9 @@ def load_report(path: str | Path) -> dict:
     return doc
 
 
-#: Benches guarded by CI: every architecture's fast path.
-GUARDED_BENCHES = ("rtl_ddc", "gpp_ddc", "montium_ddc")
+#: Benches guarded by CI: every architecture's fast path, plus the
+#: batched scenario-sweep grid of ``repro.sweep``.
+GUARDED_BENCHES = ("rtl_ddc", "gpp_ddc", "montium_ddc", "scenario_sweep")
 
 
 def check_regression(

@@ -12,7 +12,7 @@ pair instead of a single unanchored number.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -325,5 +325,46 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
         baseline_seconds=mont_base,
         notes="Montium tile DDC mapping; vectorised block engine vs the "
         "per-cycle stepped tile",
+    )
+
+    # Scenario sweep: the batched duty-cycle x candidate grid of the
+    # repro.sweep subsystem vs the scalar Section 7 loop it replaced.
+    # Units are grid cells (duty cycle x candidate) per second.  The
+    # guarded batched measurement always runs the full 20001-step Table 7
+    # grid so quick-mode CI numbers stay comparable to the committed
+    # file; quick mode only shortens the scalar baseline (its throughput
+    # is step-count independent).
+    from ..core.evaluator import DDCEvaluator
+    from ..sweep import duty_cycle_grid
+
+    say("bench scenario_sweep (batched grid) ...")
+    analysis = DDCEvaluator().scenario_analysis(cfg)
+    sweep_steps = 20_001
+    n_cand = len(analysis.candidates)
+    sweep_reps = min(7, repeats)
+    sweep_secs = time_fn(
+        lambda: duty_cycle_grid(analysis, sweep_steps).winners(),
+        repeats=sweep_reps,
+    )
+    say("bench scenario_sweep (scalar loop baseline) ...")
+    base_steps = 2_001 if quick else sweep_steps
+    sweep_base = time_fn(
+        lambda: [
+            analysis.evaluate(i / (base_steps - 1))
+            for i in range(base_steps)
+        ],
+        repeats=3,
+    )
+    results["scenario_sweep"] = BenchResult(
+        name="scenario_sweep",
+        samples_per_sec=sweep_steps * n_cand / sweep_secs,
+        seconds=sweep_secs,
+        repeats=sweep_reps,
+        n_samples=sweep_steps * n_cand,
+        baseline_samples_per_sec=base_steps * n_cand / sweep_base,
+        baseline_seconds=sweep_base,
+        notes="Table 7 duty-cycle x candidate grid (cells/sec); batched "
+        "evaluate_batch + winner extraction vs the scalar "
+        "ScenarioAnalysis.evaluate loop",
     )
     return results

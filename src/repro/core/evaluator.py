@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from ..archs.base import ArchitectureModel, Flexibility, ImplementationReport
 from ..config import DDCConfig, REFERENCE_DDC
-from ..energy.comparison import ArchitectureComparison, ComparisonRow
+from ..energy.comparison import ArchitectureComparison
 from ..energy.scenarios import ScenarioAnalysis, ScenarioCandidate
 from ..energy.technology import TECH_130NM, scale_power
 from ..errors import ConfigurationError
@@ -119,19 +119,33 @@ class DDCEvaluator:
             raise ConfigurationError("no reconfigurable architecture fits")
         return best_name
 
-    def scenario_analysis(
+    def scenario_candidates(
         self, config: DDCConfig = REFERENCE_DDC,
         standby_fraction: float = 0.05,
-    ) -> ScenarioAnalysis:
-        """Duty-cycle analysis over all feasible architectures.
+        strict: bool = True,
+    ) -> list[ScenarioCandidate]:
+        """Feasible architectures as scenario candidates, model order.
 
         Fixed-function chips are charged ``standby_fraction`` of their
         active power while idle (leakage/standby); reconfigurable fabrics
         are considered reusable (their idle time hosts other work).
+
+        ``strict=False`` additionally *skips* models that cannot map the
+        configuration at all (they raise ``ConfigurationError`` /
+        ``MappingError`` — e.g. the Montium schedule only implements the
+        reference decimation plan) instead of propagating — the behaviour
+        sweeps over off-reference grids need.
         """
+        from ..errors import MappingError
+
         candidates = []
         for model in self.models:
-            report = model.implement(config)
+            try:
+                report = model.implement(config)
+            except (ConfigurationError, MappingError):
+                if strict:
+                    raise
+                continue
             if not report.feasible:
                 continue
             reusable = report.flexibility != Flexibility.FIXED_FUNCTION
@@ -143,4 +157,13 @@ class DDCEvaluator:
                     reusable=reusable,
                 )
             )
-        return ScenarioAnalysis(candidates)
+        return candidates
+
+    def scenario_analysis(
+        self, config: DDCConfig = REFERENCE_DDC,
+        standby_fraction: float = 0.05,
+    ) -> ScenarioAnalysis:
+        """Duty-cycle analysis over all feasible architectures."""
+        return ScenarioAnalysis(
+            self.scenario_candidates(config, standby_fraction)
+        )

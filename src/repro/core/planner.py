@@ -21,6 +21,7 @@ Constraints encoded:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..config import DDCConfig
@@ -54,25 +55,63 @@ def _divisors(n: int) -> list[int]:
     return out
 
 
+@functools.lru_cache(maxsize=1)
+def _planner_cost_model():
+    """One stateless cost model per process (rebuilt in pool workers)."""
+    from ..archs.asic.lowpower import LowPowerDDCModel
+
+    return LowPowerDDCModel()
+
+
+def _evaluate_split(
+    spec: DDCSpec,
+    min_rejection_db: float,
+    fir_taps: int,
+    split: tuple[int, int, int],
+) -> DecimationPlan | None:
+    """Cost one candidate split.
+
+    Module-level over picklable arguments (the task-descriptor idiom of
+    :mod:`repro.parallel`), so plan enumeration can fan out over
+    ``backend="process"`` as well as threads.
+    """
+    cic2, cic5, fir = split
+    try:
+        config = spec.to_config(cic2, cic5, fir, fir_taps)
+    except ConfigurationError:
+        return None
+    rejection = _chain_rejection(config, spec.bandwidth_hz)
+    if rejection < min_rejection_db:
+        return None
+    cost_model = _planner_cost_model()
+    if not cost_model.supports(config):
+        return None
+    try:
+        cost = cost_model.estimate_power_w(config)
+    except ConfigurationError:
+        return None
+    return DecimationPlan(cic2, cic5, fir, cost, rejection)
+
+
 def enumerate_plans(
     spec: DDCSpec,
     fir_range: tuple[int, int] = (2, 16),
     min_rejection_db: float = 50.0,
     fir_taps: int = 125,
     workers: int | None = None,
+    backend: str = "thread",
 ) -> list[DecimationPlan]:
     """All valid plans for ``spec``, best (lowest cost) first.
 
-    ``workers`` evaluates candidate splits on a thread pool (see
-    :mod:`repro.parallel`); the result is identical to the serial sweep —
-    candidates are generated and kept in deterministic order and the final
-    sort is stable.
+    ``workers`` evaluates candidate splits on a pool (``backend`` picks
+    threads or processes; see :mod:`repro.parallel` — the split evaluator
+    is a picklable task descriptor, not a closure).  The result is
+    identical to the serial sweep — candidates are generated and kept in
+    deterministic order and the final sort is stable.
     """
-    from ..archs.asic.lowpower import LowPowerDDCModel
     from ..parallel import parallel_map
 
     total = spec.total_decimation
-    cost_model = LowPowerDDCModel()
     candidates: list[tuple[int, int, int]] = []
     for fir in _divisors(total):
         if not fir_range[0] <= fir <= fir_range[1]:
@@ -86,25 +125,14 @@ def enumerate_plans(
                 continue
             candidates.append((cic2, cic5, fir))
 
-    def evaluate(split: tuple[int, int, int]) -> DecimationPlan | None:
-        cic2, cic5, fir = split
-        try:
-            config = spec.to_config(cic2, cic5, fir, fir_taps)
-        except ConfigurationError:
-            return None
-        rejection = _chain_rejection(config, spec.bandwidth_hz)
-        if rejection < min_rejection_db:
-            return None
-        if not cost_model.supports(config):
-            return None
-        try:
-            cost = cost_model.estimate_power_w(config)
-        except ConfigurationError:
-            return None
-        return DecimationPlan(cic2, cic5, fir, cost, rejection)
-
+    evaluate = functools.partial(
+        _evaluate_split, spec, min_rejection_db, fir_taps
+    )
     plans = [
-        p for p in parallel_map(evaluate, candidates, workers=workers)
+        p
+        for p in parallel_map(
+            evaluate, candidates, workers=workers, backend=backend
+        )
         if p is not None
     ]
     plans.sort(key=lambda p: p.cost)

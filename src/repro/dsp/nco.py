@@ -24,7 +24,6 @@ spurious-free dynamic range (SFDR) it achieves is measured in
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 
 import numpy as np

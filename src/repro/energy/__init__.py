@@ -23,7 +23,15 @@ from .technology import (
     scaling_factor,
 )
 from .comparison import ArchitectureComparison, ComparisonRow
-from .scenarios import ScenarioAnalysis, ScenarioResult, duty_cycle_crossover
+from .scenarios import (
+    ScenarioAnalysis,
+    ScenarioCandidate,
+    ScenarioGrid,
+    ScenarioResult,
+    duty_cycle_crossover,
+    duty_cycle_crossover_batch,
+    duty_grid,
+)
 
 __all__ = [
     "TechnologyNode",
@@ -36,6 +44,10 @@ __all__ = [
     "ArchitectureComparison",
     "ComparisonRow",
     "ScenarioAnalysis",
+    "ScenarioCandidate",
+    "ScenarioGrid",
     "ScenarioResult",
     "duty_cycle_crossover",
+    "duty_cycle_crossover_batch",
+    "duty_grid",
 ]

@@ -21,12 +21,26 @@ and for a reconfigurable one the *displaced* power the fabric saves by
 hosting another task (modelled as zero cost when ``reusable`` — its idle
 time is not wasted).  :func:`duty_cycle_crossover` finds the duty cycle at
 which two architectures swap rank.
+
+Two evaluation paths exist and are **bit-identical**:
+
+- the scalar path (:meth:`ScenarioAnalysis.evaluate`) — one duty cycle at
+  a time, the seed behaviour and the oracle;
+- the batched path (:meth:`ScenarioAnalysis.cost_batch` /
+  :meth:`ScenarioAnalysis.evaluate_batch`) — whole numpy duty-cycle x
+  candidate grids in one pass, which :meth:`ScenarioAnalysis.sweep`,
+  :meth:`ScenarioAnalysis.winning_regions` and the :mod:`repro.sweep`
+  subsystem ride.  Both compute ``d*P_active + (1-d)*P_idle`` with the
+  same operation order in float64, so the grids agree bit for bit (pinned
+  by the Hypothesis suite in ``tests/test_energy.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from ..errors import ConfigurationError
 
@@ -54,11 +68,16 @@ class ScenarioCandidate:
     standby_power_w: float = 0.0
     reusable: bool = False
 
+    @property
+    def idle_power_w(self) -> float:
+        """Idle power actually charged to the DDC budget."""
+        return 0.0 if self.reusable else self.standby_power_w
+
     def effective_power_w(self, duty_cycle: float) -> float:
         """Average power attributable to the DDC function at ``duty_cycle``."""
         if not 0.0 <= duty_cycle <= 1.0:
             raise ConfigurationError("duty cycle must be in [0, 1]")
-        idle = 0.0 if self.reusable else self.standby_power_w
+        idle = self.idle_power_w
         return duty_cycle * self.active_power_w + (1 - duty_cycle) * idle
 
 
@@ -69,6 +88,71 @@ class ScenarioResult:
     duty_cycle: float
     winner: str
     powers_w: dict[str, float]
+
+
+def duty_grid(steps: int) -> np.ndarray:
+    """The regular duty-cycle grid 0..1 used by sweeps: ``i / (steps-1)``."""
+    if steps < 2:
+        raise ConfigurationError("steps must be >= 2")
+    return np.arange(steps) / (steps - 1)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A batched evaluation: duty-cycle x candidate effective powers.
+
+    ``powers_w[k, j]`` is candidate ``names[j]`` at ``duty_cycles[k]``,
+    bit-identical to ``candidates[j].effective_power_w(duty_cycles[k])``.
+    """
+
+    duty_cycles: np.ndarray
+    names: tuple[str, ...]
+    powers_w: np.ndarray
+
+    @property
+    def winner_indices(self) -> np.ndarray:
+        """Index of the cheapest candidate per duty cycle (first wins ties,
+        matching the scalar path's ``min`` over an insertion-ordered dict)."""
+        return np.argmin(self.powers_w, axis=1)
+
+    def winners(self) -> list[str]:
+        """Winning candidate name per duty cycle."""
+        # Fancy-index a string array instead of a python loop: the winner
+        # column of a 100k-step grid materialises at C speed.
+        return np.asarray(self.names, dtype=object)[
+            self.winner_indices
+        ].tolist()
+
+    def results(self) -> list[ScenarioResult]:
+        """Materialise the grid as scalar-identical :class:`ScenarioResult`s."""
+        out: list[ScenarioResult] = []
+        for k, d in enumerate(self.duty_cycles):
+            powers = {
+                name: float(self.powers_w[k, j])
+                for j, name in enumerate(self.names)
+            }
+            out.append(
+                ScenarioResult(float(d), self.names[self.winner_indices[k]],
+                               powers)
+            )
+        return out
+
+    def winning_regions(self) -> list[tuple[float, float, str]]:
+        """(start, end, winner) intervals over the grid's duty-cycle span."""
+        idx = self.winner_indices
+        regions: list[tuple[float, float, str]] = []
+        start = float(self.duty_cycles[0])
+        current = int(idx[0])
+        changes = np.nonzero(idx[1:] != idx[:-1])[0]
+        for pos in changes:
+            boundary = float(self.duty_cycles[pos + 1])
+            regions.append((start, boundary, self.names[current]))
+            start = boundary
+            current = int(idx[pos + 1])
+        regions.append(
+            (start, float(self.duty_cycles[-1]), self.names[current])
+        )
+        return regions
 
 
 class ScenarioAnalysis:
@@ -82,37 +166,56 @@ class ScenarioAnalysis:
             raise ConfigurationError("candidate names must be unique")
         self.candidates = list(candidates)
 
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Candidate names in insertion order."""
+        return tuple(c.name for c in self.candidates)
+
     def evaluate(self, duty_cycle: float) -> ScenarioResult:
-        """Rank candidates at one duty cycle."""
+        """Rank candidates at one duty cycle (the scalar oracle path)."""
         powers = {
             c.name: c.effective_power_w(duty_cycle) for c in self.candidates
         }
         winner = min(powers, key=lambda k: powers[k])
         return ScenarioResult(duty_cycle, winner, powers)
 
+    def cost_batch(self, duty_cycles) -> np.ndarray:
+        """Effective powers over a whole duty-cycle grid in one pass.
+
+        Returns a ``(len(duty_cycles), len(candidates))`` float64 array
+        whose every element is bit-identical to the scalar
+        :meth:`ScenarioCandidate.effective_power_w` (same operation order
+        in IEEE-754 double precision).
+        """
+        d = np.asarray(duty_cycles, dtype=np.float64)
+        if d.ndim != 1:
+            raise ConfigurationError("duty_cycles must be one-dimensional")
+        if d.size == 0:
+            raise ConfigurationError("need at least one duty cycle")
+        if float(d.min()) < 0.0 or float(d.max()) > 1.0:
+            raise ConfigurationError("duty cycles must be in [0, 1]")
+        active = np.array([c.active_power_w for c in self.candidates])
+        idle = np.array([c.idle_power_w for c in self.candidates])
+        return d[:, None] * active[None, :] + (1 - d)[:, None] * idle[None, :]
+
+    def evaluate_batch(self, duty_cycles) -> ScenarioGrid:
+        """Batched :meth:`evaluate`: the whole grid plus winners."""
+        d = np.asarray(duty_cycles, dtype=np.float64)
+        return ScenarioGrid(
+            duty_cycles=d, names=self.names, powers_w=self.cost_batch(d)
+        )
+
     def static_scenario(self) -> ScenarioResult:
         """The paper's Section 7.1: full-time DDC."""
         return self.evaluate(1.0)
 
     def sweep(self, steps: int = 101) -> list[ScenarioResult]:
-        """Evaluate duty cycles 0..1 on a regular grid."""
-        if steps < 2:
-            raise ConfigurationError("steps must be >= 2")
-        return [self.evaluate(i / (steps - 1)) for i in range(steps)]
+        """Evaluate duty cycles 0..1 on a regular grid (batched path)."""
+        return self.evaluate_batch(duty_grid(steps)).results()
 
     def winning_regions(self, steps: int = 1001) -> list[tuple[float, float, str]]:
-        """(start, end, winner) intervals of duty cycle."""
-        results = self.sweep(steps)
-        regions: list[tuple[float, float, str]] = []
-        start = 0.0
-        current = results[0].winner
-        for r in results[1:]:
-            if r.winner != current:
-                regions.append((start, r.duty_cycle, current))
-                start = r.duty_cycle
-                current = r.winner
-        regions.append((start, 1.0, current))
-        return regions
+        """(start, end, winner) intervals of duty cycle (batched path)."""
+        return self.evaluate_batch(duty_grid(steps)).winning_regions()
 
 
 def duty_cycle_crossover(
@@ -123,12 +226,35 @@ def duty_cycle_crossover(
     Solves ``d*Pa + (1-d)*Ia = d*Pb + (1-d)*Ib`` for ``d``; returns ``None``
     when the lines are parallel or cross outside ``[0, 1]``.
     """
-    ia = 0.0 if a.reusable else a.standby_power_w
-    ib = 0.0 if b.reusable else b.standby_power_w
+    ia = a.idle_power_w
+    ib = b.idle_power_w
     denom = (a.active_power_w - ia) - (b.active_power_w - ib)
     if denom == 0.0:
         return None
     d = (ib - ia) / denom
     if not 0.0 <= d <= 1.0:
         return None
+    return d
+
+
+def duty_cycle_crossover_batch(
+    candidates: Sequence[ScenarioCandidate],
+) -> np.ndarray:
+    """All pairwise crossovers in one pass.
+
+    Returns an ``(n, n)`` matrix whose ``[i, j]`` entry equals
+    ``duty_cycle_crossover(candidates[i], candidates[j])`` bit for bit,
+    with ``nan`` standing in for the scalar path's ``None`` (parallel
+    cost lines, or a crossing outside ``[0, 1]``).
+    """
+    if not candidates:
+        raise ConfigurationError("need at least one candidate")
+    active = np.array([c.active_power_w for c in candidates])
+    idle = np.array([c.idle_power_w for c in candidates])
+    slope = active - idle
+    denom = slope[:, None] - slope[None, :]
+    num = idle[None, :] - idle[:, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        d = num / denom
+    d[(denom == 0.0) | (d < 0.0) | (d > 1.0)] = np.nan
     return d

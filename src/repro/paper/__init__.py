@@ -16,7 +16,15 @@ from .tables import (
     table7,
     TableResult,
 )
-from .figures import figure1, figure2, figure3, figure4, figure8, figure9
+from .figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure8,
+    figure9,
+    figure_duty_cycle,
+)
 from .scenarios import section7_scenarios
 
 __all__ = [
@@ -34,5 +42,6 @@ __all__ = [
     "figure4",
     "figure8",
     "figure9",
+    "figure_duty_cycle",
     "section7_scenarios",
 ]

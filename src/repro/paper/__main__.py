@@ -1,0 +1,154 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.paper``.
+
+Regenerates every table and figure of the paper from the models and
+writes them as text artifacts — what the CI ``paper-artifacts`` job
+uploads.  With ``--check GOLDEN_DIR`` it instead regenerates the tables
+and diffs them byte-for-byte against the committed goldens
+(``tests/goldens/``), exiting non-zero on any drift: table output is a
+*contract*, and a model change that moves a published number must change
+the golden in the same PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+from . import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure8,
+    figure9,
+    figure_duty_cycle,
+    section7_scenarios,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+#: The golden-diffed artifacts: every regenerated table plus the Section 7
+#: scenario summary (all deterministic functions of the models).
+TABLES = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "section7": section7_scenarios,
+}
+
+#: Uploaded as artifacts but not golden-diffed (text art, no published
+#: numbers to pin).
+FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure_duty_cycle": figure_duty_cycle,
+}
+
+
+def render_tables() -> dict[str, str]:
+    """name -> rendered text (trailing newline) for every golden artifact."""
+    return {name: fn().render() + "\n" for name, fn in TABLES.items()}
+
+
+def render_figures() -> dict[str, str]:
+    """name -> rendered text for the figure artifacts."""
+    return {name: fn().render() + "\n" for name, fn in FIGURES.items()}
+
+
+def write_artifacts(out_dir: Path) -> list[Path]:
+    """Write every table and figure under ``out_dir``; returns the paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in {**render_tables(), **render_figures()}.items():
+        path = out_dir / f"{name}.txt"
+        path.write_text(text)
+        written.append(path)
+    return written
+
+
+def check_goldens(golden_dir: Path) -> list[str]:
+    """Regenerate the tables and diff against ``golden_dir``.
+
+    Returns human-readable failure strings (empty = pass).  A golden file
+    missing for a regenerated table — or a stray ``*.txt`` golden no
+    table produces — is a failure too, so the guard cannot rot silently.
+    """
+    failures: list[str] = []
+    rendered = render_tables()
+    for name, text in rendered.items():
+        path = golden_dir / f"{name}.txt"
+        if not path.is_file():
+            failures.append(f"{name}: missing golden {path}")
+            continue
+        golden = path.read_text()
+        if golden != text:
+            diff = "".join(
+                difflib.unified_diff(
+                    golden.splitlines(keepends=True),
+                    text.splitlines(keepends=True),
+                    fromfile=str(path),
+                    tofile=f"{name} (regenerated)",
+                )
+            )
+            failures.append(f"{name}: output drifted from golden\n{diff}")
+    for stray in sorted(golden_dir.glob("*.txt")):
+        if stray.stem not in rendered:
+            failures.append(
+                f"{stray.name}: golden has no matching table artifact"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.paper",
+        description="Regenerate the paper's tables and figures.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--output-dir", metavar="DIR",
+        help="write every table/figure as DIR/<name>.txt",
+    )
+    mode.add_argument(
+        "--check", metavar="GOLDEN_DIR",
+        help="diff regenerated tables against committed goldens; "
+        "exit 1 on any drift",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        failures = check_goldens(Path(args.check))
+        if failures:
+            print("PAPER-ARTIFACT CHECK FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(
+            f"paper-artifact check against {args.check}: "
+            f"{len(TABLES)} tables OK"
+        )
+        return 0
+
+    written = write_artifacts(Path(args.output_dir))
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

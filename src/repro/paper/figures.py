@@ -102,6 +102,38 @@ def figure8() -> FigureResult:
     )
 
 
+def figure_duty_cycle(
+    config: DDCConfig = REFERENCE_DDC, steps: int = 101
+) -> FigureResult:
+    """Duty-cycle winner map of Section 7 (executable: repro.sweep).
+
+    Not a numbered figure in the paper — the conclusion argues it in
+    prose — but the natural plot of its scenario analysis: which
+    architecture is cheapest at each DDC duty cycle.  Rendered from one
+    batched pass of the sweep engine; the payload is the full
+    :class:`~repro.energy.scenarios.ScenarioGrid`.
+    """
+    from ..core.evaluator import DDCEvaluator
+    from ..sweep import duty_cycle_grid
+
+    analysis = DDCEvaluator().scenario_analysis(config)
+    grid = duty_cycle_grid(analysis, steps)
+    regions = grid.winning_regions()
+    keys = {name: str(j) for j, name in enumerate(grid.names)}
+    strip = "".join(keys[w] for w in grid.winners())
+    lines = ["duty cycle 0% " + strip + " 100%"]
+    for lo, hi, name in regions:
+        lines.append(f"  {lo:6.1%} .. {hi:6.1%}  {name}")
+    lines.append(
+        "  (" + ", ".join(f"{keys[n]}={n}" for n in grid.names) + ")"
+    )
+    return FigureResult(
+        "Figure S7: duty-cycle winner map (Section 7 scenarios)",
+        "\n".join(lines),
+        grid,
+    )
+
+
 def figure9(cycles: int = 40) -> FigureResult:
     """Fig. 9: the first 40 clock cycles of the Montium DDC schedule."""
     from ..archs.montium.ddc_mapping import build_ddc_schedule

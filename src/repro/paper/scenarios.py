@@ -6,7 +6,6 @@ from dataclasses import dataclass
 
 from ..config import DDCConfig, REFERENCE_DDC
 from ..core.evaluator import DDCEvaluator
-from ..energy.scenarios import ScenarioAnalysis
 
 
 @dataclass
@@ -32,13 +31,22 @@ class Section7Result:
 def section7_scenarios(
     config: DDCConfig = REFERENCE_DDC,
     evaluator: DDCEvaluator | None = None,
+    steps: int = 501,
 ) -> Section7Result:
-    """Recompute the paper's conclusion."""
+    """Recompute the paper's conclusion.
+
+    The duty-cycle map rides the batched sweep engine
+    (:func:`repro.sweep.duty_cycle_grid` — one numpy pass over the whole
+    grid) rather than 501 scalar evaluations; the output is bit-identical
+    either way.
+    """
+    from ..sweep import duty_cycle_grid
+
     ev = evaluator or DDCEvaluator()
     result = ev.evaluate(config)
-    analysis: ScenarioAnalysis = ev.scenario_analysis(config)
+    grid = duty_cycle_grid(ev.scenario_analysis(config), steps)
     return Section7Result(
         static_winner=result.static_winner,
         reconfigurable_winner=result.reconfigurable_winner,
-        winning_regions=analysis.winning_regions(steps=501),
+        winning_regions=grid.winning_regions(),
     )

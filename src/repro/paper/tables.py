@@ -8,7 +8,7 @@ we can compare against, the published values for EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any
 
 from ..config import DDCConfig, REFERENCE_DDC
 from ..core.evaluator import DDCEvaluator
@@ -161,8 +161,10 @@ def table4() -> TableResult:
 def table5(workers: int | None = None) -> TableResult:
     """Table 5: Cyclone I power vs internal toggle rate.
 
-    ``workers`` parallelises the toggle-rate sweep (deterministic output
-    order either way; see :mod:`repro.parallel`).
+    The sweep rides :meth:`FPGAPowerModel.estimate_batch` — one numpy
+    pass over the toggle grid; ``workers`` instead fans scalar estimates
+    out over a thread pool.  Output is bit-identical either way (see
+    :mod:`repro.parallel`).
     """
     from ..archs.fpga.devices import CYCLONE_I_EP1C3
     from ..archs.fpga.power import FPGAPowerModel
@@ -217,9 +219,16 @@ def table6() -> TableResult:
     )
 
 
-def table7(config: DDCConfig = REFERENCE_DDC) -> TableResult:
-    """Table 7: summary of results across all architectures."""
-    result = DDCEvaluator().evaluate(config)
+def table7(
+    config: DDCConfig = REFERENCE_DDC,
+    evaluator: DDCEvaluator | None = None,
+) -> TableResult:
+    """Table 7: summary of results across all architectures.
+
+    ``evaluator`` lets callers that already paid for the model runs (the
+    sweep subsystem, the artifacts CLI) share one evaluator instance.
+    """
+    result = (evaluator or DDCEvaluator()).evaluate(config)
     rows = []
     for r in result.comparison.rows:
         area = f"{r.area_mm2:.1f}mm2" if r.area_mm2 is not None else "n.a."

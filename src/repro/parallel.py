@@ -1,49 +1,85 @@
 """Deterministic parallel mapping for sweep workloads.
 
-The Table 5 power sweep, the decimation-plan enumeration and the ablation
-benches are embarrassingly parallel: independent evaluations of a pure
-function over a parameter grid.  :func:`parallel_map` gives them a shared
-``workers=`` knob backed by :class:`concurrent.futures.ThreadPoolExecutor`.
+The Table 5 power sweep, the decimation-plan enumeration, the scenario
+sweeps of :mod:`repro.sweep` and the ablation benches are embarrassingly
+parallel: independent evaluations of a pure function over a parameter
+grid.  :func:`parallel_map` gives them a shared ``workers=`` knob with two
+backends:
 
-Guarantees:
+- ``backend="thread"`` (default) — a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  Right when the sweep
+  bodies are numpy/closed-form dominated (they release the GIL) or when
+  the work items close over live model objects that are not picklable.
+- ``backend="process"`` — a
+  :class:`concurrent.futures.ProcessPoolExecutor` for sweeps whose bodies
+  are pure-Python dominated and outgrow the GIL.  The **picklability
+  contract**: ``fn`` must be a module-level callable (or a
+  :func:`functools.partial` of one) and every item and result must
+  pickle.  Callers pass *task descriptors* (frozen dataclasses, tuples of
+  primitives) instead of live-model closures and rebuild models inside
+  the worker — see :func:`repro.sweep.engine.evaluate_point` and the
+  planner's split evaluator for the idiom.
+
+Guarantees, identical for both backends:
 
 - **Deterministic ordering** — results come back in input order
   (``Executor.map`` semantics), so a parallel sweep is byte-identical to
   the serial one regardless of completion order;
-- ``workers=None`` or ``workers=1`` runs serially in the caller's thread
-  (no executor, no thread-switch overhead) — the default everywhere, so
-  parallelism is opt-in;
+- ``workers=None``, ``0`` or ``1`` runs serially in the caller's thread
+  (no executor, no pool overhead) — the default everywhere, so
+  parallelism is opt-in; negative worker counts are a configuration
+  error, not a silent serial fallback;
 - exceptions propagate exactly as in the serial case (the first failing
   item raises when its result is consumed, in input order).
-
-Threads (not processes) are the right pool here: the sweep bodies are
-numpy/closed-form dominated and the work items close over live model
-objects that are not picklable.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from .errors import ConfigurationError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Executor backends accepted by :func:`parallel_map`.
+BACKENDS = ("thread", "process")
 
 
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: int | None = None,
+    backend: str = "thread",
 ) -> list[R]:
-    """``[fn(x) for x in items]`` with an optional thread pool.
+    """``[fn(x) for x in items]`` with an optional executor pool.
 
     ``workers`` is clamped to the number of items; values of ``None``,
-    ``0`` or ``1`` run serially.
+    ``0`` or ``1`` run serially and negative values raise
+    :class:`~repro.errors.ConfigurationError`.  ``backend`` selects the
+    pool type (``"thread"`` or ``"process"``); with ``"process"`` both
+    ``fn`` and the items must be picklable (see the module docstring).
     """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if workers is not None and workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 0 (or None for serial), got {workers}"
+        )
     seq: Sequence[T] = list(items)
     if not seq:
         return []
     if not workers or workers <= 1 or len(seq) == 1:
         return [fn(x) for x in seq]
-    with ThreadPoolExecutor(max_workers=min(workers, len(seq))) as pool:
+    n_workers = min(workers, len(seq))
+    if backend == "process":
+        # Chunking amortises the per-task pickle round-trip; Executor.map
+        # reassembles chunk results in input order so determinism holds.
+        chunksize = max(1, len(seq) // (n_workers * 4))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(fn, seq, chunksize=chunksize))
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(fn, seq))

@@ -29,7 +29,6 @@ statistics; functional and throughput runs should switch it off.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..errors import SimulationError
 from .clock import ClockDomain

@@ -1,0 +1,171 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.sweep``.
+
+With no arguments it regenerates the Table 7 scenario grid — the paper's
+feasible architectures against the 0..1 duty-cycle grid — through the
+batched engine and prints the JSON report.  ``--axis`` adds configuration
+axes, ``--backend process --workers N`` fans points out over a process
+pool, and ``--verify`` proves the batched run byte-identical to the
+scalar oracle while timing both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..errors import ConfigurationError, ReproError
+from .engine import run_sweep
+from .report import FORMATS
+from .spec import SweepSpec
+
+
+def _parse_axis(text: str) -> tuple[str, tuple]:
+    """``name=v1,v2,...`` with int-then-float value coercion."""
+    name, sep, raw = text.partition("=")
+    if not sep or not raw:
+        raise ConfigurationError(
+            f"--axis expects name=v1,v2,... got {text!r}"
+        )
+
+    def coerce(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            try:
+                return float(token)
+            except ValueError:
+                raise ConfigurationError(
+                    f"axis {name!r}: {token!r} is not a number"
+                ) from None
+
+    return name.strip(), tuple(coerce(t) for t in raw.split(",") if t)
+
+
+def build_spec(args: argparse.Namespace) -> SweepSpec:
+    """Translate parsed CLI arguments into a SweepSpec."""
+    axes = dict(_parse_axis(a) for a in args.axis)
+    architectures = None
+    if args.architectures:
+        architectures = tuple(
+            a.strip() for a in args.architectures.split(",") if a.strip()
+        )
+    return SweepSpec.from_axes(
+        axes,
+        duty_cycle_steps=args.steps,
+        architectures=architectures,
+        standby_fraction=args.standby_fraction,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Batched scenario sweeps over configuration grids.",
+    )
+    parser.add_argument(
+        "--axis", action="append", default=[], metavar="FIELD=V1,V2,...",
+        help="add a DDCConfig sweep axis (repeatable); no axes = the "
+        "reference configuration, i.e. the Table 7 scenario grid",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=101,
+        help="duty-cycle grid size over [0, 1] (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--architectures", default=None, metavar="NAME,NAME,...",
+        help="restrict candidates to these architecture names",
+    )
+    parser.add_argument(
+        "--standby-fraction", type=float, default=0.05,
+        help="fixed-function idle power as a fraction of active power "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan configuration points out over a pool (default: serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="pool type for --workers (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--engine", choices=("batch", "scalar"), default="batch",
+        help="grid evaluation path (scalar = the seed oracle loop; "
+        "default: %(default)s)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="json",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", default="-", metavar="PATH",
+        help="report path, '-' = stdout (default: stdout)",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print the human-readable winner map instead of the report",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run BOTH engines, require byte-identical reports, report "
+        "the measured speedup; exits 1 on any divergence",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spec = build_spec(args)
+        if args.verify:
+            # Warm the model/numpy import paths so the timed runs compare
+            # grid evaluation, not first-call import costs.
+            from dataclasses import replace
+
+            run_sweep(replace(spec, duty_cycle_steps=2), engine="batch")
+            run_sweep(replace(spec, duty_cycle_steps=2), engine="scalar")
+            t0 = time.perf_counter()
+            batch = run_sweep(
+                spec, workers=args.workers, backend=args.backend,
+                engine="batch",
+            )
+            t_batch = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            scalar = run_sweep(spec, engine="scalar")
+            t_scalar = time.perf_counter() - t0
+            batch_bytes = batch.render(args.format).encode()
+            scalar_bytes = scalar.render(args.format).encode()
+            if batch_bytes != scalar_bytes:
+                print(
+                    "VERIFY FAILED: batched and scalar reports differ",
+                    file=sys.stderr,
+                )
+                return 1
+            cells = spec.n_grid_cells
+            print(
+                f"verify OK: {len(batch_bytes)} bytes identical across "
+                f"engines ({cells} grid cells)"
+            )
+            print(
+                f"  batch {t_batch * 1e3:.2f} ms, scalar "
+                f"{t_scalar * 1e3:.2f} ms, speedup "
+                f"{t_scalar / t_batch:.1f}x"
+            )
+            return 0
+
+        report = run_sweep(
+            spec, workers=args.workers, backend=args.backend,
+            engine=args.engine,
+        )
+        if args.summary:
+            print(report.summary())
+        else:
+            report.write(args.output, args.format)
+            if args.output != "-":
+                print(f"wrote {args.output}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,225 @@
+"""Batched execution engine for scenario sweeps.
+
+:func:`evaluate_point` turns one :class:`~repro.sweep.spec.SweepPoint`
+into a :class:`PointResult`: it binds the point to a configuration, runs
+the architecture models once, and evaluates the whole duty-cycle x
+candidate grid through the batched scenario APIs
+(:meth:`~repro.energy.scenarios.ScenarioAnalysis.evaluate_batch`,
+:func:`~repro.energy.scenarios.duty_cycle_crossover_batch`).
+
+``engine="scalar"`` evaluates the same grid through the seed scalar path
+(one :meth:`~repro.energy.scenarios.ScenarioAnalysis.evaluate` call per
+duty cycle, one pairwise crossover at a time).  Both engines emit
+bit-identical :class:`PointResult` s — the scalar engine is the oracle the
+``python -m repro.sweep --verify`` mode and the ``scenario_sweep`` bench
+baseline run against.
+
+Everything here is a module-level callable over picklable descriptors, so
+:func:`run_sweep` can fan points out over ``backend="process"`` pools
+(see :mod:`repro.parallel`) with deterministic, serial-identical output.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.evaluator import DDCEvaluator
+from ..energy.scenarios import (
+    ScenarioAnalysis,
+    ScenarioCandidate,
+    ScenarioGrid,
+    duty_cycle_crossover,
+    duty_cycle_crossover_batch,
+    duty_grid,
+)
+from ..errors import ConfigurationError
+from ..parallel import parallel_map
+from .spec import SweepPoint, SweepSpec
+
+#: Engines accepted by :func:`evaluate_point` / :func:`run_sweep`.
+ENGINES = ("batch", "scalar")
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """The scenario grid of one configuration point (picklable, JSON-ready).
+
+    ``powers_w[k][j]`` is candidate ``names[j]`` at the ``k``-th duty
+    cycle of the spec's grid; ``crossovers`` lists the in-[0,1] duty-cycle
+    crossings of every ``i < j`` candidate pair.
+    """
+
+    index: int
+    label: str
+    overrides: tuple[tuple[str, Any], ...]
+    names: tuple[str, ...]
+    reusable: tuple[bool, ...]
+    active_powers_w: tuple[float, ...]
+    powers_w: tuple[tuple[float, ...], ...]
+    winners: tuple[str, ...]
+    winning_regions: tuple[tuple[float, float, str], ...]
+    crossovers: tuple[tuple[str, str, float], ...]
+
+    @property
+    def static_winner(self) -> str:
+        """Winner at duty cycle 1.0 (Section 7.1, the grid's last step)."""
+        return self.winners[-1]
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "overrides": {k: v for k, v in self.overrides},
+            "names": list(self.names),
+            "reusable": list(self.reusable),
+            "active_powers_w": list(self.active_powers_w),
+            "powers_w": [list(row) for row in self.powers_w],
+            "winners": list(self.winners),
+            "winning_regions": [list(r) for r in self.winning_regions],
+            "crossovers": [list(c) for c in self.crossovers],
+            "static_winner": self.static_winner,
+        }
+
+
+def duty_cycle_grid(analysis: ScenarioAnalysis, steps: int) -> ScenarioGrid:
+    """One batched pass over the regular 0..1 duty grid — the sweep
+    subsystem's core primitive, shared by Section 7, the figures and the
+    ``scenario_sweep`` bench."""
+    return analysis.evaluate_batch(duty_grid(steps))
+
+
+def _select_candidates(
+    candidates: list[ScenarioCandidate], spec: SweepSpec
+) -> list[ScenarioCandidate]:
+    """Apply the spec's architecture subset, preserving model order.
+
+    A requested architecture that is missing from *this point's*
+    candidates is simply dropped for the point — it may be infeasible or
+    unmappable there (the same drop-out the strict=False candidate build
+    gives unrestricted sweeps).  Only an empty intersection is an error,
+    which is also how typos surface: no point ever matches the name.
+    """
+    if spec.architectures is None:
+        return candidates
+    wanted = set(spec.architectures)
+    selected = [c for c in candidates if c.name in wanted]
+    if not selected:
+        raise ConfigurationError(
+            f"none of the requested architecture(s) "
+            f"{', '.join(spec.architectures)} are feasible here; this "
+            f"point's candidates are {', '.join(c.name for c in candidates)}"
+        )
+    return selected
+
+
+def evaluate_point(
+    spec: SweepSpec, point: SweepPoint, engine: str = "batch"
+) -> PointResult:
+    """Evaluate one grid point (module-level: safe for process pools)."""
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown sweep engine {engine!r}; expected one of {ENGINES}"
+        )
+    config = spec.config_at(point)
+    # strict=False: architectures whose model cannot map this point (e.g.
+    # the Montium off its reference schedule) drop out of the candidate
+    # set instead of aborting the whole sweep.
+    candidates = _select_candidates(
+        DDCEvaluator().scenario_candidates(
+            config, spec.standby_fraction, strict=False
+        ),
+        spec,
+    )
+    if not candidates:
+        raise ConfigurationError(
+            f"no feasible architecture maps point {point.label()!r}"
+        )
+    analysis = ScenarioAnalysis(candidates)
+    steps = spec.duty_cycle_steps
+    names = analysis.names
+
+    if engine == "batch":
+        grid = duty_cycle_grid(analysis, steps)
+        # tolist() converts the whole grid to python floats at C speed —
+        # bit-identical to element-wise float() but without the loop.
+        powers = tuple(map(tuple, grid.powers_w.tolist()))
+        winners = tuple(grid.winners())
+        regions = tuple(grid.winning_regions())
+        matrix = duty_cycle_crossover_batch(candidates)
+        crossovers = tuple(
+            (names[i], names[j], float(matrix[i, j]))
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+            if not math.isnan(matrix[i, j])
+        )
+    else:
+        results = [
+            analysis.evaluate(i / (steps - 1)) for i in range(steps)
+        ]
+        powers = tuple(
+            tuple(r.powers_w[name] for name in names) for r in results
+        )
+        winners = tuple(r.winner for r in results)
+        regions_list: list[tuple[float, float, str]] = []
+        start = 0.0
+        current = results[0].winner
+        for r in results[1:]:
+            if r.winner != current:
+                regions_list.append((start, r.duty_cycle, current))
+                start = r.duty_cycle
+                current = r.winner
+        regions_list.append((start, 1.0, current))
+        regions = tuple(regions_list)
+        scalar_pairs = []
+        for i in range(len(candidates)):
+            for j in range(i + 1, len(candidates)):
+                d = duty_cycle_crossover(candidates[i], candidates[j])
+                if d is not None:
+                    scalar_pairs.append((names[i], names[j], d))
+        crossovers = tuple(scalar_pairs)
+
+    return PointResult(
+        index=point.index,
+        label=point.label(),
+        overrides=point.overrides,
+        names=names,
+        reusable=tuple(c.reusable for c in candidates),
+        active_powers_w=tuple(c.active_power_w for c in candidates),
+        powers_w=powers,
+        winners=winners,
+        winning_regions=regions,
+        crossovers=crossovers,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int | None = None,
+    backend: str = "thread",
+    engine: str = "batch",
+):
+    """Execute the whole grid; returns a :class:`~repro.sweep.report.SweepReport`.
+
+    ``workers``/``backend`` fan configuration points out via
+    :func:`repro.parallel.parallel_map` — the task is a
+    :func:`functools.partial` of :func:`evaluate_point` over the picklable
+    spec/point descriptors, so ``backend="process"`` works and every
+    combination of knobs returns byte-identical reports in point order.
+    """
+    from .report import SweepReport
+
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown sweep engine {engine!r}; expected one of {ENGINES}"
+        )
+    task = functools.partial(evaluate_point, spec, engine=engine)
+    results = parallel_map(
+        task, spec.points(), workers=workers, backend=backend
+    )
+    duty = tuple(float(d) for d in np.asarray(spec.duty_cycles()))
+    return SweepReport(spec=spec, duty_cycles=duty, points=results)

@@ -1,0 +1,92 @@
+"""JSON/CSV reports for scenario sweeps.
+
+The JSON document (schema ``repro-sweep/v1``) is a pure function of the
+spec and the grid values — it carries no engine, timing or host metadata —
+so the batched and scalar engines, and the thread and process backends,
+all serialise to *byte-identical* output.  ``python -m repro.sweep
+--verify`` leans on exactly that property.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .engine import PointResult
+from .spec import SweepSpec
+
+SCHEMA = "repro-sweep/v1"
+
+#: Output formats accepted by :meth:`SweepReport.render` / the CLI.
+FORMATS = ("json", "csv")
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """All grid points of one sweep, in point order."""
+
+    spec: SweepSpec
+    duty_cycles: tuple[float, ...]
+    points: list[PointResult]
+
+    def to_json_doc(self) -> dict:
+        """The schema'd document (deterministic: no engine/host metadata)."""
+        return {
+            "schema": SCHEMA,
+            "spec": self.spec.describe(),
+            "duty_cycles": list(self.duty_cycles),
+            "points": [p.to_json() for p in self.points],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_doc(), indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        """Long-form grid: one row per (point, duty cycle, candidate) cell."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(
+            ("point", "label", "duty_cycle", "candidate", "power_w",
+             "winner")
+        )
+        for p in self.points:
+            for k, d in enumerate(self.duty_cycles):
+                for j, name in enumerate(p.names):
+                    writer.writerow(
+                        (p.index, p.label, repr(d), name,
+                         repr(p.powers_w[k][j]), p.winners[k])
+                    )
+        return buf.getvalue()
+
+    def render(self, fmt: str = "json") -> str:
+        if fmt not in FORMATS:
+            raise ConfigurationError(
+                f"unknown report format {fmt!r}; expected one of {FORMATS}"
+            )
+        return self.to_json() if fmt == "json" else self.to_csv()
+
+    def write(self, path: str | Path | None, fmt: str = "json") -> str:
+        """Write to ``path`` (``None`` or ``"-"`` = stdout); returns text."""
+        text = self.render(fmt)
+        if path is None or str(path) == "-":
+            sys.stdout.write(text)
+        else:
+            Path(path).write_text(text)
+        return text
+
+    def summary(self) -> str:
+        """Human-readable digest printed by the CLI."""
+        lines = [
+            f"{len(self.points)} configuration point(s) x "
+            f"{len(self.duty_cycles)} duty cycles"
+        ]
+        for p in self.points:
+            lines.append(f"  [{p.index}] {p.label}")
+            for lo, hi, name in p.winning_regions:
+                lines.append(f"      {lo:7.2%} .. {hi:7.2%}  {name}")
+        return "\n".join(lines)

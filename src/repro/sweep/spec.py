@@ -1,0 +1,172 @@
+"""Declarative scenario-sweep grids.
+
+A :class:`SweepSpec` names *what* to sweep — parameter axes over
+:class:`~repro.config.DDCConfig` fields, a duty-cycle grid, an optional
+architecture subset — without saying how to execute it.  The engine
+(:mod:`repro.sweep.engine`) expands the spec into a deterministic list of
+:class:`SweepPoint` task descriptors and evaluates them; because spec and
+points are frozen dataclasses of primitives, they pickle cleanly and the
+same sweep can fan out over threads or processes
+(:func:`repro.parallel.parallel_map`) with byte-identical results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..config import DDCConfig, REFERENCE_DDC
+from ..energy.scenarios import duty_grid
+from ..errors import ConfigurationError
+
+#: DDCConfig fields a sweep axis may range over.
+CONFIG_AXES: tuple[str, ...] = tuple(
+    f.name for f in fields(DDCConfig)
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a picklable task descriptor, not a live model.
+
+    ``overrides`` is the tuple of ``(field, value)`` pairs this point
+    applies on top of the spec's base configuration, in axis order.
+    """
+
+    index: int
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def label(self) -> str:
+        """Human-readable point name for reports."""
+        if not self.overrides:
+            return "reference"
+        return ",".join(f"{k}={v}" for k, v in self.overrides)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid over configurations x duty cycles x architectures.
+
+    Parameters
+    ----------
+    axes:
+        Ordered ``(field, values)`` pairs; each field must be a
+        :class:`DDCConfig` field.  The grid is the cartesian product in
+        axis order (first axis varies slowest).  Empty = a single point,
+        the base configuration.
+    base_config:
+        Configuration the axis overrides are applied to.
+    duty_cycle_steps:
+        Size of the regular duty-cycle grid 0..1 (>= 2).
+    architectures:
+        Restrict the scenario candidates to these names (None = all
+        feasible architectures).
+    standby_fraction:
+        Idle power of fixed-function chips as a fraction of active power.
+    """
+
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    base_config: DDCConfig = REFERENCE_DDC
+    duty_cycle_steps: int = 101
+    architectures: tuple[str, ...] | None = None
+    standby_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for axis in self.axes:
+            if len(axis) != 2:
+                raise ConfigurationError(
+                    f"axis must be a (field, values) pair, got {axis!r}"
+                )
+            name, values = axis
+            if name not in CONFIG_AXES:
+                raise ConfigurationError(
+                    f"unknown sweep axis {name!r}; DDCConfig fields are "
+                    f"{', '.join(CONFIG_AXES)}"
+                )
+            if name in seen:
+                raise ConfigurationError(f"duplicate sweep axis {name!r}")
+            seen.add(name)
+            if not isinstance(values, tuple) or not values:
+                raise ConfigurationError(
+                    f"axis {name!r} needs a non-empty tuple of values"
+                )
+        if self.duty_cycle_steps < 2:
+            raise ConfigurationError("duty_cycle_steps must be >= 2")
+        if not 0.0 <= self.standby_fraction <= 1.0:
+            raise ConfigurationError("standby_fraction must be in [0, 1]")
+        if self.architectures is not None and not self.architectures:
+            raise ConfigurationError(
+                "architectures must be None or a non-empty tuple"
+            )
+
+    @classmethod
+    def from_axes(
+        cls,
+        axes: Mapping[str, Sequence[Any]] | None = None,
+        **kwargs: Any,
+    ) -> "SweepSpec":
+        """Build a spec from a mapping of axis name to values.
+
+        Axis order is the mapping's iteration order (insertion order for
+        a dict), which fixes the grid enumeration order.
+        """
+        normalised = tuple(
+            (name, tuple(values)) for name, values in (axes or {}).items()
+        )
+        return cls(axes=normalised, **kwargs)
+
+    @property
+    def n_points(self) -> int:
+        """Number of configuration grid points."""
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    @property
+    def n_grid_cells(self) -> int:
+        """Total duty-cycle x config cells the sweep evaluates (per arch)."""
+        return self.n_points * self.duty_cycle_steps
+
+    def duty_cycles(self) -> np.ndarray:
+        """The duty-cycle grid, identical to the scalar ``i/(steps-1)``."""
+        return duty_grid(self.duty_cycle_steps)
+
+    def points(self) -> list[SweepPoint]:
+        """Expand the axes into grid points, deterministic order.
+
+        The cartesian product iterates the *last* axis fastest
+        (:func:`itertools.product` semantics), so point order — and hence
+        report order — is a pure function of the spec.
+        """
+        if not self.axes:
+            return [SweepPoint(0)]
+        names = [name for name, _ in self.axes]
+        out = []
+        for index, combo in enumerate(
+            itertools.product(*(values for _, values in self.axes))
+        ):
+            out.append(SweepPoint(index, tuple(zip(names, combo))))
+        return out
+
+    def config_at(self, point: SweepPoint) -> DDCConfig:
+        """Bind one grid point to a concrete configuration."""
+        if not point.overrides:
+            return self.base_config
+        return replace(self.base_config, **dict(point.overrides))
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready summary of the grid (for report headers)."""
+        return {
+            "axes": {name: list(values) for name, values in self.axes},
+            "n_points": self.n_points,
+            "duty_cycle_steps": self.duty_cycle_steps,
+            "architectures": (
+                list(self.architectures) if self.architectures else None
+            ),
+            "standby_fraction": self.standby_fraction,
+        }

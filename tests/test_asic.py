@@ -9,9 +9,7 @@ from repro import REFERENCE_DDC, DDCConfig
 from repro.archs.asic import (
     GC4016Channel,
     GC4016Model,
-    GC4016_SPEC,
     LowPowerDDCModel,
-    LOWPOWER_SPEC,
     gate_count_estimate,
 )
 from repro.dsp.signals import gsm_like_burst, tone

@@ -64,11 +64,14 @@ class TestRegressionCheck:
         ) == []
 
     def test_default_guard_covers_every_fast_path(self):
-        """CI guards all three architecture fast paths by default."""
+        """CI guards the architecture fast paths and the batched sweep."""
         from repro.bench.report import GUARDED_BENCHES
 
-        assert GUARDED_BENCHES == ("rtl_ddc", "gpp_ddc", "montium_ddc")
-        # all three must be present on both sides, or the guard fails
+        assert GUARDED_BENCHES == (
+            "rtl_ddc", "gpp_ddc", "montium_ddc", "scenario_sweep"
+        )
+        # every guarded bench must be present on both sides, or the
+        # guard fails
         results = {n: _result(n, 1e6) for n in GUARDED_BENCHES}
         committed = {
             "schema": SCHEMA,

@@ -58,6 +58,14 @@ class TestPlanner:
         for p in enumerate_plans(DDCSpec()):
             assert p.total == 2688
 
+    def test_process_backend_identical_to_serial(self):
+        """The split evaluator is a picklable descriptor: the same sweep
+        fans out over a process pool with identical results."""
+        spec = DDCSpec()
+        serial = enumerate_plans(spec)
+        procs = enumerate_plans(spec, workers=2, backend="process")
+        assert procs == serial
+
     def test_rejection_floor_respected(self):
         for p in enumerate_plans(DDCSpec(), min_rejection_db=60.0):
             assert p.alias_rejection_db >= 60.0

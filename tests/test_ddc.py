@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro import DDC, FixedDDC, REFERENCE_DDC, DDCConfig
-from repro.dsp.metrics import snr_db
 from repro.dsp.signals import drm_like_ofdm, quantize_to_adc, tone
 from repro.errors import ConfigurationError
 

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -14,6 +17,8 @@ from repro.energy import (
     ScenarioAnalysis,
     TechnologyNode,
     duty_cycle_crossover,
+    duty_cycle_crossover_batch,
+    duty_grid,
     scale_power,
     scaling_factor,
 )
@@ -154,3 +159,122 @@ class TestScenarios:
     def test_duty_cycle_validation(self):
         with pytest.raises(ConfigurationError):
             ScenarioCandidate("x", 1.0).effective_power_w(1.5)
+
+    def test_crossover_outside_unit_interval_is_none(self):
+        """Lines that cross only at d < 0 or d > 1 report no crossover."""
+        # Crossing below 0: b is cheaper at every admissible duty cycle.
+        a = ScenarioCandidate("a", 1.0, standby_power_w=0.50)
+        b = ScenarioCandidate("b", 1.2, standby_power_w=0.55)
+        assert duty_cycle_crossover(a, b) is None
+        # Crossing above 1: the idle gap never closes within [0, 1].
+        c = ScenarioCandidate("c", 1.0, standby_power_w=0.10)
+        e = ScenarioCandidate("e", 1.1, standby_power_w=0.30)
+        assert duty_cycle_crossover(c, e) is None
+        # Sanity: both pairs really do cross, just outside the interval.
+        for x, y in ((a, b), (c, e)):
+            denom = (x.active_power_w - x.idle_power_w) - (
+                y.active_power_w - y.idle_power_w
+            )
+            d = (y.idle_power_w - x.idle_power_w) / denom
+            assert not 0.0 <= d <= 1.0
+
+    def test_all_reusable_candidate_set(self):
+        """All-reusable sets: zero idle cost, ties resolve to first-in."""
+        cands = [
+            ScenarioCandidate("m", 0.0387, standby_power_w=0.01,
+                              reusable=True),
+            ScenarioCandidate("f", 0.0581, standby_power_w=0.02,
+                              reusable=True),
+            ScenarioCandidate("g", 2.435, standby_power_w=0.1,
+                              reusable=True),
+        ]
+        analysis = ScenarioAnalysis(cands)
+        # At d=0 every reusable fabric costs exactly 0.0 — standby power is
+        # displaced, not charged — and the tie goes to the first candidate.
+        at_zero = analysis.evaluate(0.0)
+        assert set(at_zero.powers_w.values()) == {0.0}
+        assert at_zero.winner == "m"
+        # The cheapest active fabric wins at every d > 0, so there is a
+        # single winning region and no crossover strictly inside (0, 1].
+        assert analysis.winning_regions(steps=101) == [(0.0, 1.0, "m")]
+        matrix = duty_cycle_crossover_batch(cands)
+        off_diag = matrix[~np.eye(len(cands), dtype=bool)]
+        # All pairwise "crossovers" collapse to the shared zero-cost point.
+        assert all(math.isnan(v) or v == 0.0 for v in off_diag)
+        assert duty_cycle_crossover(cands[0], cands[1]) == 0.0
+
+
+_candidates_strategy = st.lists(
+    st.builds(
+        ScenarioCandidate,
+        name=st.uuids().map(str),
+        active_power_w=st.floats(1e-6, 10.0),
+        standby_power_w=st.floats(0.0, 1.0),
+        reusable=st.booleans(),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestBatchedScenarioPaths:
+    """The batched grid APIs are bit-identical to the scalar oracles."""
+
+    @given(
+        _candidates_strategy,
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=32),
+    )
+    def test_cost_batch_equals_scalar_cost(self, cands, duties):
+        analysis = ScenarioAnalysis(cands)
+        grid = analysis.cost_batch(duties)
+        assert grid.shape == (len(duties), len(cands))
+        for k, d in enumerate(duties):
+            for j, c in enumerate(cands):
+                # Bitwise equality, not approx: same IEEE-754 op order.
+                assert grid[k, j] == c.effective_power_w(d)
+
+    @given(_candidates_strategy, st.integers(2, 64))
+    def test_evaluate_batch_equals_scalar_sweep(self, cands, steps):
+        analysis = ScenarioAnalysis(cands)
+        batch = analysis.evaluate_batch(duty_grid(steps)).results()
+        scalar = [
+            analysis.evaluate(i / (steps - 1)) for i in range(steps)
+        ]
+        assert batch == scalar
+
+    @given(_candidates_strategy)
+    def test_crossover_batch_equals_scalar_pairwise(self, cands):
+        matrix = duty_cycle_crossover_batch(cands)
+        for i, a in enumerate(cands):
+            for j, b in enumerate(cands):
+                scalar = duty_cycle_crossover(a, b)
+                if scalar is None:
+                    assert math.isnan(matrix[i, j])
+                else:
+                    assert matrix[i, j] == scalar
+
+    def test_cost_batch_validation(self):
+        analysis = ScenarioAnalysis([ScenarioCandidate("x", 1.0)])
+        with pytest.raises(ConfigurationError):
+            analysis.cost_batch([0.5, 1.5])
+        with pytest.raises(ConfigurationError):
+            analysis.cost_batch([])
+        with pytest.raises(ConfigurationError):
+            analysis.cost_batch([[0.1], [0.2]])
+
+    def test_comparison_scenario_grid_entry_point(self):
+        cmp = ArchitectureComparison()
+        cmp.add(_FakeReport("asic", TECH_180NM, 0.027))
+        cmp.add(_FakeReport("fpga", TECH_130NM, 0.0581))
+        cmp.add(_FakeReport("gpp", TECH_130NM, 2.4, feasible=False))
+        grid = cmp.scenario_grid(
+            duty_grid(11), reusable={"fpga": True}, standby_fraction=0.05
+        )
+        assert grid.names == ("asic", "fpga")  # infeasible row dropped
+        assert grid.powers_w.shape == (11, 2)
+        # fpga is reusable: zero cost at d=0; asic pays standby.
+        assert grid.powers_w[0, 1] == 0.0
+        assert grid.powers_w[0, 0] == pytest.approx(0.027 * 0.05)
+        assert grid.winning_regions()[0][2] == "fpga"
+        with pytest.raises(ConfigurationError):
+            cmp.scenario_grid(duty_grid(5), standby_fraction=1.5)

@@ -364,7 +364,7 @@ class TestBlockHelpers:
 # 5. GPP fast engines vs the per-instruction interpreter
 # --------------------------------------------------------------------------
 
-from repro.archs.gpp import CPU, Program, WordMemory, assemble
+from repro.archs.gpp import CPU, WordMemory, assemble
 from repro.archs.gpp.codegen import build_memory_image, generate_ddc_program
 from repro.archs.gpp.engine import CompiledProgram, discover_blocks
 from repro.errors import ExecutionError

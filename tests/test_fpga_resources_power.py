@@ -120,6 +120,24 @@ class TestTable5:
         with pytest.raises(ConfigurationError):
             model.estimate(usage, frequency_hz=-1.0)
 
+    def test_estimate_batch_bit_identical_to_scalar(self):
+        """The numpy batch path reproduces each scalar estimate exactly."""
+        usage = estimate_ddc_resources(CYCLONE_I_EP1C3)
+        model = FPGAPowerModel(CYCLONE_I_EP1C3)
+        toggles = [0.0, 0.05, 0.10, 0.50, 0.875, 1.0]
+        batch = model.estimate_batch(usage, toggles)
+        for t, b in zip(toggles, batch):
+            scalar = model.estimate(usage, internal_toggle=t)
+            assert b == scalar  # dataclass equality: every field bitwise
+
+    def test_estimate_batch_validation(self):
+        usage = estimate_ddc_resources(CYCLONE_I_EP1C3)
+        model = FPGAPowerModel(CYCLONE_I_EP1C3)
+        with pytest.raises(ConfigurationError):
+            model.estimate_batch(usage, [])
+        with pytest.raises(ConfigurationError):
+            model.estimate_batch(usage, [0.1, 1.2])
+
 
 class TestCycloneModel:
     def test_implement_reference(self):

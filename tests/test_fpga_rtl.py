@@ -5,11 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import REFERENCE_DDC, DDCConfig, FixedDDC
+from repro import REFERENCE_DDC, FixedDDC
 from repro.archs.fpga import RTLDDC
 from repro.archs.fpga.rtl_cic import RTLCIC
 from repro.archs.fpga.rtl_fir import RTLPolyphaseFIR
-from repro.archs.fpga.rtl_nco import RTLNCOMixer, build_sine_rom
+from repro.archs.fpga.rtl_nco import build_sine_rom
 from repro.dsp.cic import FixedCICDecimator
 from repro.dsp.fir import FixedPolyphaseDecimator
 from repro.dsp.firdesign import quantize_taps, reference_fir_taps

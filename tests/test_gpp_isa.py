@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.archs.gpp import CPU, assemble
-from repro.archs.gpp.isa import CYCLES, Instruction, Mnemonic, Operand
+from repro.archs.gpp.isa import CYCLES, Mnemonic
 from repro.errors import AssemblyError, ExecutionError
 
 

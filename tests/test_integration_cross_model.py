@@ -61,7 +61,6 @@ class TestSameToneEverywhere:
 
     def test_montium_tile(self, stimulus):
         from repro.archs.montium import run_ddc_on_tile
-        from repro.config import DDCConfig
 
         # Montium LUT quantises the carrier to fs/512 steps; retune the
         # stimulus to a LUT-exact carrier for the comparison.

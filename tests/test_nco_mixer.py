@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.dsp.metrics import sfdr_db, snr_db
+from repro.dsp.metrics import sfdr_db
 from repro.dsp.mixer import Mixer, mix_to_baseband
 from repro.dsp.nco import NCO, NCOMode, nco_sfdr_estimate_db
 from repro.errors import ConfigurationError

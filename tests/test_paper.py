@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.paper import (
     figure1,
     figure2,
@@ -11,6 +9,7 @@ from repro.paper import (
     figure4,
     figure8,
     figure9,
+    figure_duty_cycle,
     section7_scenarios,
     table1,
     table2,
@@ -74,6 +73,14 @@ class TestFigures:
         from repro.archs.montium.alu import Level2Fn
 
         assert figure8().payload.level2 is Level2Fn.MAC
+
+    def test_figure_duty_cycle_payload_is_batched_grid(self):
+        fig = figure_duty_cycle(steps=41)
+        grid = fig.payload
+        assert grid.powers_w.shape == (41, len(grid.names))
+        # The map must agree with the Section 7 conclusion at d=1.0.
+        assert grid.winners()[-1] == "Customised Low Power DDC"
+        assert "Customised Low Power DDC" in fig.text
 
     def test_figure9_default_40_cycles(self):
         fig = figure9()

@@ -2,11 +2,28 @@
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.parallel import parallel_map
+
+
+def _square_mod(x):
+    """Module-level so the process backend can pickle it."""
+    return (x * x) % 11
+
+
+def _current_pid(_):
+    return os.getpid()
+
+
+def _boom_on_two(x):
+    if x == 2:
+        raise ValueError("item 2")
+    return x
 
 
 class TestParallelMap:
@@ -60,3 +77,52 @@ class TestParallelMap:
     def test_generator_input_consumed_once(self):
         gen = (x for x in (1, 2, 3))
         assert parallel_map(lambda x: x * 2, gen, workers=2) == [2, 4, 6]
+
+    @pytest.mark.parametrize("workers", [-1, -4])
+    def test_negative_workers_rejected(self, workers):
+        """workers=-4 must be a loud error, not a silent serial run."""
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x
+
+        with pytest.raises(ConfigurationError, match="workers"):
+            parallel_map(fn, [1, 2, 3], workers=workers)
+        assert calls == []  # rejected before any work ran
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            parallel_map(lambda x: x, [1], backend="fiber")
+
+
+class TestProcessBackend:
+    """backend="process": picklable descriptors, serial-identical results."""
+
+    def test_matches_serial_in_input_order(self):
+        items = list(range(37))
+        got = parallel_map(_square_mod, items, workers=4, backend="process")
+        assert got == [_square_mod(x) for x in items]
+
+    def test_actually_fans_out_to_other_processes(self):
+        pids = set(
+            parallel_map(_current_pid, range(16), workers=4,
+                         backend="process")
+        )
+        # At least one item must have run outside the parent process.
+        assert pids - {os.getpid()}
+
+    def test_serial_fallback_skips_the_pool(self):
+        # workers<=1 never spawns processes, so even unpicklable closures
+        # work — the backend only constrains the genuinely parallel path.
+        assert parallel_map(lambda x: x + 1, [1, 2], workers=1,
+                            backend="process") == [2, 3]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="item 2"):
+            parallel_map(_boom_on_two, [0, 1, 2, 3], workers=2,
+                         backend="process")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            parallel_map(_square_mod, [1], workers=-2, backend="process")

@@ -6,14 +6,12 @@ import numpy as np
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.dsp.cic import CICDecimator, FixedCICDecimator, cic_reference_output
+from repro.dsp.cic import CICDecimator, FixedCICDecimator
 from repro.dsp.fir import PolyphaseDecimator
 from repro.dsp.nco import NCO
 from repro.dsp.response import cic_response
 from repro.fixedpoint import (
-    Overflow,
     QFormat,
-    Rounding,
     from_fixed,
     quantize,
     requantize,

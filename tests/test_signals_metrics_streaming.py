@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.dsp.chain import Chain
 from repro.dsp.cic import CICDecimator
@@ -12,7 +11,6 @@ from repro.dsp.metrics import (
     enob,
     rms_error,
     sfdr_db,
-    sinad_db,
     snr_db,
     tone_power_db,
 )
