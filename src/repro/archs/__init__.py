@@ -13,6 +13,14 @@ Every architecture exposes an :class:`~repro.archs.base.ArchitectureModel`
 implementation so :mod:`repro.energy.comparison` can build Table 7.
 """
 
-from .base import ArchitectureModel, ImplementationReport
+from .base import (
+    ArchitectureModel,
+    BatchImplementationReport,
+    ImplementationReport,
+)
 
-__all__ = ["ArchitectureModel", "ImplementationReport"]
+__all__ = [
+    "ArchitectureModel",
+    "BatchImplementationReport",
+    "ImplementationReport",
+]

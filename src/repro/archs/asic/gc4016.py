@@ -16,6 +16,7 @@ up to 84 taps vs 125).  :class:`GC4016Model` provides the Table 7 row.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -27,7 +28,12 @@ from ...dsp.mixer import Mixer
 from ...dsp.nco import NCO
 from ...energy.technology import TECH_250NM, TechnologyNode
 from ...errors import ConfigurationError
-from ..base import ArchitectureModel, Flexibility, ImplementationReport
+from ..base import (
+    ArchitectureModel,
+    BatchImplementationReport,
+    Flexibility,
+    ImplementationReport,
+)
 
 
 @dataclass(frozen=True)
@@ -145,14 +151,10 @@ class GC4016Model(ArchitectureModel):
             <= self.spec.max_decimation
         )
 
-    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
-        if self.at_paper_operating_point:
-            clock = self.spec.example_clock_hz
-            power = self.spec.example_power_w
-        else:
-            clock = config.input_rate_hz
-            power = self.spec.example_power_w * clock / self.spec.example_clock_hz
-        supported = self.supports(config)
+    def _report(
+        self, clock: float, power: float, supported: bool
+    ) -> ImplementationReport:
+        """Assemble the Table 7 row (shared by scalar and batched paths)."""
         return ImplementationReport(
             architecture=self.spec.name,
             technology=self.spec.technology,
@@ -168,4 +170,44 @@ class GC4016Model(ArchitectureModel):
                 + ("" if supported else "; reference decimation 2688 is in"
                    " range but the exact 16*21*8 split is not expressible")
             ),
+        )
+
+    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
+        if self.at_paper_operating_point:
+            clock = self.spec.example_clock_hz
+            power = self.spec.example_power_w
+        else:
+            clock = config.input_rate_hz
+            power = self.spec.example_power_w * clock / self.spec.example_clock_hz
+        return self._report(clock, power, self.supports(config))
+
+    def implement_batch(
+        self, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        """Batched :meth:`implement`: one numpy pass over the datasheet
+        arithmetic (clock-linear power scaling and the Table 2 support
+        window), bit-identical to the scalar loop at every point."""
+        spec = self.spec
+        rates = np.array([c.input_rate_hz for c in configs])
+        if self.at_paper_operating_point:
+            clocks = np.full(len(rates), spec.example_clock_hz)
+            powers = np.full(len(rates), spec.example_power_w)
+        else:
+            clocks = rates
+            powers = spec.example_power_w * clocks / spec.example_clock_hz
+        totals = np.array([c.total_decimation for c in configs])
+        supported = (
+            (rates <= spec.max_input_msps * 1e6)
+            & (totals >= spec.min_decimation)
+            & (totals <= spec.max_decimation)
+        )
+        reports = [
+            self._report(float(clock), float(power), bool(ok))
+            for clock, power, ok in zip(clocks, powers, supported)
+        ]
+        return BatchImplementationReport.from_reports(spec.name, reports)
+
+    def cache_key(self) -> tuple:
+        return (
+            type(self).__qualname__, self.spec, self.at_paper_operating_point,
         )

@@ -8,12 +8,19 @@ power at the paper's assumed 10 % internal toggle rate.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ...config import DDCConfig, REFERENCE_DDC
-from ...errors import MappingError
-from ..base import ArchitectureModel, Flexibility, ImplementationReport
+from ...errors import ConfigurationError, MappingError
+from ..base import (
+    ArchitectureModel,
+    BatchImplementationReport,
+    Flexibility,
+    ImplementationReport,
+)
 from .devices import CYCLONE_II_EP2C5, FPGADevice
 from .power import FPGAPowerModel
-from .resources import estimate_ddc_resources, require_fit
+from .resources import ResourceUsage, estimate_ddc_resources, require_fit
 
 
 class CycloneModel(ArchitectureModel):
@@ -40,28 +47,73 @@ class CycloneModel(ArchitectureModel):
             return False
         return config.input_rate_hz <= self.device.fmax_ddc_hz
 
-    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
-        usage = estimate_ddc_resources(self.device, config)
-        require_fit(usage, self.device)
+    def _report(
+        self, config: DDCConfig, usage: ResourceUsage, total_w: float
+    ) -> ImplementationReport:
+        """Assemble the Table 7 row (shared by scalar and batched paths)."""
         clock_hz = config.input_rate_hz
-        feasible = clock_hz <= self.device.fmax_ddc_hz
-        power = self.power_model.estimate(
-            usage, clock_hz, self.internal_toggle, self.input_toggle
-        )
         return ImplementationReport(
             architecture=f"Altera {self.device.family}",
             technology=self.device.technology,
             clock_hz=clock_hz,
-            power_w=power.total_w,
+            power_w=total_w,
             area_mm2=None,
             flexibility=Flexibility.RECONFIGURABLE,
-            feasible=feasible,
+            feasible=clock_hz <= self.device.fmax_ddc_hz,
             notes=(
                 f"{usage.logic_elements} LEs, {usage.memory_bits} memory "
                 f"bits, {usage.multipliers_9bit} embedded 9-bit multipliers; "
                 f"{self.internal_toggle:.0%} internal / "
                 f"{self.input_toggle:.0%} input toggle assumed"
             ),
+        )
+
+    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
+        usage = estimate_ddc_resources(self.device, config)
+        require_fit(usage, self.device)
+        power = self.power_model.estimate(
+            usage, config.input_rate_hz, self.internal_toggle,
+            self.input_toggle,
+        )
+        return self._report(config, usage, power.total_w)
+
+    def implement_batch(
+        self, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        """Batched :meth:`implement` over a configuration axis.
+
+        Resource estimation (integer bookkeeping) runs per configuration
+        with the same fit check as the scalar path; the power arithmetic
+        for every mappable configuration is one
+        :meth:`FPGAPowerModel.estimate_batch` numpy pass, bit-identical
+        to the scalar estimates.
+        """
+        usages: list[ResourceUsage | None] = []
+        errors: list[Exception | None] = []
+        for config in configs:
+            try:
+                usage = estimate_ddc_resources(self.device, config)
+                require_fit(usage, self.device)
+                usages.append(usage)
+                errors.append(None)
+            except (ConfigurationError, MappingError) as exc:
+                usages.append(None)
+                errors.append(exc)
+        mappable = [i for i, u in enumerate(usages) if u is not None]
+        reports: list[ImplementationReport | None] = [None] * len(configs)
+        if mappable:
+            breakdowns = self.power_model.estimate_batch(
+                [usages[i] for i in mappable],
+                self.internal_toggle,
+                [configs[i].input_rate_hz for i in mappable],
+                self.input_toggle,
+            )
+            for i, power in zip(mappable, breakdowns):
+                usage = usages[i]
+                assert usage is not None
+                reports[i] = self._report(configs[i], usage, power.total_w)
+        return BatchImplementationReport.from_reports(
+            f"Altera {self.device.family}", reports, errors
         )
 
     def dynamic_power_w(self, config: DDCConfig = REFERENCE_DDC) -> float:
@@ -72,3 +124,25 @@ class CycloneModel(ArchitectureModel):
             usage, config.input_rate_hz, self.internal_toggle, self.input_toggle
         )
         return power.dynamic_w
+
+    def dynamic_power_batch(self, configs: Sequence[DDCConfig]) -> list[float]:
+        """Batched :meth:`dynamic_power_w`: one
+        :meth:`FPGAPowerModel.estimate_batch` pass over the axis."""
+        if not configs:
+            return []
+        usages = [
+            estimate_ddc_resources(self.device, c) for c in configs
+        ]
+        breakdowns = self.power_model.estimate_batch(
+            usages,
+            self.internal_toggle,
+            [c.input_rate_hz for c in configs],
+            self.input_toggle,
+        )
+        return [b.dynamic_w for b in breakdowns]
+
+    def cache_key(self) -> tuple:
+        return (
+            type(self).__qualname__, self.device.name,
+            self.internal_toggle, self.input_toggle,
+        )

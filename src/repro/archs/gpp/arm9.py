@@ -14,11 +14,18 @@ The paper's chain of reasoning:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ...config import DDCConfig, REFERENCE_DDC
-from ..base import ArchitectureModel, Flexibility, ImplementationReport
+from ..base import (
+    ArchitectureModel,
+    BatchImplementationReport,
+    Flexibility,
+    ImplementationReport,
+)
 from ...energy.technology import TECH_130NM, TechnologyNode
-from .profiler import RegionProfile, profile_ddc
+from ...errors import ConfigurationError, MappingError
+from .profiler import RegionProfile, profile_ddc, profile_ddc_analytic
 
 
 @dataclass(frozen=True)
@@ -51,19 +58,29 @@ class ARM9Model(ArchitectureModel):
         self.spec = spec
         self.spill_slots = spill_slots
         self.n_samples = n_samples
-        self._last_profile: RegionProfile | None = None
+        self._profiled: tuple[DDCConfig, RegionProfile] | None = None
 
     def profile(self, config: DDCConfig = REFERENCE_DDC) -> RegionProfile:
-        """Run (and cache) the instruction-level profile for ``config``."""
+        """Run (and memoise) the instruction-level profile for ``config``.
+
+        The memo is config-keyed: asking for a different configuration
+        always re-profiles (a bare last-run cache would hand back another
+        configuration's answer).
+        """
+        if self._profiled is not None and self._profiled[0] == config:
+            return self._profiled[1]
         prof = profile_ddc(
             config, n_samples=self.n_samples, spill_slots=self.spill_slots
         )
-        self._last_profile = prof
+        self._profiled = (config, prof)
         return prof
 
-    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
-        """Section 4.2's arithmetic on our own profiled cycle counts."""
-        prof = self.profile(config)
+    def _report(self, prof: RegionProfile) -> ImplementationReport:
+        """Section 4.2's arithmetic on a profile's cycle counts.
+
+        Shared by the scalar and batched paths so their reports agree bit
+        for bit by construction.
+        """
         required_hz = prof.required_clock_hz
         power_w = required_hz / 1e6 * self.spec.power_mw_per_mhz * 1e-3
         feasible = required_hz <= self.spec.max_clock_hz
@@ -82,7 +99,62 @@ class ARM9Model(ArchitectureModel):
             ),
         )
 
+    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
+        """Section 4.2's arithmetic on our own profiled cycle counts."""
+        return self._report(self.profile(config))
+
+    def implement_batch(
+        self, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        """Batched :meth:`implement` over a configuration axis.
+
+        Rides the closed-form analytic profile
+        (:func:`~repro.archs.gpp.profiler.profile_ddc_analytic`): the
+        generated program's statistics follow from counter algebra, so no
+        per-configuration instruction-set simulation runs on the batch
+        path.  Configurations the analytic profile cannot serve
+        (non-reference CIC orders, budget-exceeding runs) fall back to
+        the scalar :meth:`implement`, so every report — and every mapping
+        error — is bit-identical to the scalar loop.
+        """
+        reports: list[ImplementationReport | None] = []
+        errors: list[Exception | None] = []
+        for config in configs:
+            prof = profile_ddc_analytic(
+                config, n_samples=self.n_samples,
+                spill_slots=self.spill_slots,
+            )
+            try:
+                report = (
+                    self._report(prof) if prof is not None
+                    else self.implement(config)
+                )
+                reports.append(report)
+                errors.append(None)
+            except (ConfigurationError, MappingError) as exc:
+                reports.append(None)
+                errors.append(exc)
+        return BatchImplementationReport.from_reports(
+            self.spec.name, reports, errors
+        )
+
+    def cache_key(self) -> tuple:
+        return (
+            type(self).__qualname__, self.spec, self.spill_slots,
+            self.n_samples,
+        )
+
     def speedup_needed(self, config: DDCConfig = REFERENCE_DDC) -> float:
-        """How many ARM9s-worth of clock the task needs (paper: ~39x)."""
-        prof = self._last_profile or self.profile(config)
+        """How many ARM9s-worth of clock the task needs (paper: ~39x).
+
+        Config-correct by construction: rides the analytic profile (same
+        clock requirement as an executed run) and only falls back to a
+        full profile of *this* configuration when the analytic path does
+        not apply.
+        """
+        prof = profile_ddc_analytic(
+            config, n_samples=self.n_samples, spill_slots=self.spill_slots
+        )
+        if prof is None:
+            prof = self.profile(config)
         return prof.required_clock_hz / self.spec.max_clock_hz

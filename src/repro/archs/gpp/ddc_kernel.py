@@ -115,6 +115,44 @@ def _match_skeleton(program: Program) -> _Skeleton | None:
                      done)
 
 
+def ddc_block_plan(
+    sk: _Skeleton, n: int, d2: int, d5: int, d8: int, taps: int, w0: int
+) -> list[tuple[BasicBlock, int, int]]:
+    """Closed-form (block, executions, taken-branches) plan of one run.
+
+    Pure counter algebra over the decimation structure — no execution —
+    shared by :func:`run_ddc_kernel` and the analytic profile behind
+    ``ARM9Model.implement_batch``.  Feeding the plan to
+    :func:`~repro.archs.gpp.engine.accumulate_block_stats` produces an
+    :class:`~repro.archs.gpp.cpu.ExecutionStats` bit-identical to
+    actually executing the program.
+    """
+    c2 = n // d2               # CIC2 comb executions
+    c5 = c2 // d5              # CIC5 comb + FIR store executions
+    f = c5 // d8               # FIR summation executions
+    wraps = (w0 + c5) // taps  # ring write-index wrap-arounds
+    return [
+        (sk.init, 1, 0),
+        (sk.loop_head, n + 1, 1),
+        (sk.sample_body, n, n - c2),
+        (sk.cic2_comb, c2, c2 - c5),
+        (sk.cic5_comb, c5, c5 - wraps),
+        (sk.widx_wrap, wraps, 0),
+        (sk.widx_ok, c5, c5 - f),
+        (sk.fir_head, f, 0),
+        (sk.mac_head, taps * f, (taps - 1) * f),
+        (sk.ridx_wrap, f, 0),
+        (sk.mac_body, taps * f, (taps - 1) * f),
+        (sk.fir_tail, f, f),
+        (sk.done, 1, 0),
+    ]
+
+
+def plan_instructions(plan: list[tuple[BasicBlock, int, int]]) -> int:
+    """Total instructions a plan retires (the budget-check quantity)."""
+    return sum(blk.n_instr * count for blk, count, _ in plan)
+
+
 def run_ddc_kernel(cpu: CPU, max_instructions: int) -> bool:
     """Execute ``cpu``'s program vectorised; True when it applied.
 
@@ -138,24 +176,8 @@ def run_ddc_kernel(cpu: CPU, max_instructions: int) -> bool:
     c2 = n // d2               # CIC2 comb executions
     c5 = c2 // d5              # CIC5 comb + FIR store executions
     f = c5 // d8               # FIR summation executions
-    wraps = (w0 + c5) // taps  # ring write-index wrap-arounds
-    plan: list[tuple[BasicBlock, int, int]] = [
-        (sk.init, 1, 0),
-        (sk.loop_head, n + 1, 1),
-        (sk.sample_body, n, n - c2),
-        (sk.cic2_comb, c2, c2 - c5),
-        (sk.cic5_comb, c5, c5 - wraps),
-        (sk.widx_wrap, wraps, 0),
-        (sk.widx_ok, c5, c5 - f),
-        (sk.fir_head, f, 0),
-        (sk.mac_head, taps * f, (taps - 1) * f),
-        (sk.ridx_wrap, f, 0),
-        (sk.mac_body, taps * f, (taps - 1) * f),
-        (sk.fir_tail, f, f),
-        (sk.done, 1, 0),
-    ]
-    total = sum(blk.n_instr * count for blk, count, _ in plan)
-    if total > max_instructions:
+    plan = ddc_block_plan(sk, n, d2, d5, d8, taps, w0)
+    if plan_instructions(plan) > max_instructions:
         return False  # the block engine truncates identically
 
     # ------------------------------------------------------- NCO + mixer

@@ -12,6 +12,7 @@ paper's seven regions.  The result carries everything Section 4.2 derives:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,95 @@ class RegionProfile:
                 for r in DDC_REGIONS]
 
 
+#: Instruction budget :func:`profile_ddc` grants a run of ``n`` samples.
+def _instruction_budget(n_samples: int) -> int:
+    return 400 * n_samples + 10_000
+
+
+@functools.lru_cache(maxsize=None)
+def _ddc_skeleton(spill_slots: bool, lut_bits: int):
+    """The generated program's basic-block skeleton and cost tables.
+
+    The codegen emits the *same instruction sequence shape* for every
+    configuration — decimations, taps, widths and frequencies only change
+    immediates, never instruction counts or cost classes — so one
+    reference build provides the static per-block cost tables for the
+    whole configuration space (pinned against real execution by
+    ``tests/test_evaluator_batch.py``).
+    """
+    from .ddc_kernel import _match_skeleton
+
+    program, _ = generate_ddc_program(REFERENCE_DDC, 1, lut_bits, spill_slots)
+    sk = _match_skeleton(program)
+    if sk is None:  # pragma: no cover - codegen and kernel move together
+        raise ConfigurationError(
+            "generated DDC no longer matches the kernel skeleton"
+        )
+    return sk
+
+
+def profile_ddc_analytic(
+    config: DDCConfig = REFERENCE_DDC,
+    n_samples: int | None = None,
+    spill_slots: bool = True,
+    lut_bits: int = 10,
+) -> RegionProfile | None:
+    """Closed-form :func:`profile_ddc` twin: statistics without execution.
+
+    The generated DDC's control flow depends only on counters, so its
+    per-region instruction/cycle statistics — everything
+    :class:`~repro.archs.gpp.arm9.ARM9Model` needs — follow in closed
+    form from the decimation structure and the static block cost tables
+    (:func:`~repro.archs.gpp.ddc_kernel.ddc_block_plan`).  The resulting
+    :class:`RegionProfile` carries statistics bit-identical to running
+    the program; ``out_samples`` is empty (nothing was executed).
+
+    Returns ``None`` when the analytic path does not apply — non-reference
+    CIC orders (codegen rejects them) or a run that would exceed
+    :func:`profile_ddc`'s instruction budget (the engine truncates there)
+    — and the caller must fall back to :func:`profile_ddc`, which
+    reproduces the scalar behaviour exactly, errors included.
+    """
+    from .ddc_kernel import ddc_block_plan, plan_instructions
+    from .engine import accumulate_block_stats
+
+    if config.cic2_order != 2 or config.cic5_order != 5:
+        return None
+    if n_samples is None:
+        n_samples = config.total_decimation
+    if n_samples < 1:
+        return None
+    sk = _ddc_skeleton(spill_slots, lut_bits)
+    plan = ddc_block_plan(
+        sk,
+        n_samples,
+        config.cic2_decimation,
+        config.cic5_decimation,
+        config.fir_decimation,
+        config.fir_taps,
+        0,  # a fresh run starts with FIR write index 0
+    )
+    if plan_instructions(plan) > _instruction_budget(n_samples):
+        return None
+    stats = ExecutionStats()
+    accumulate_block_stats(
+        stats,
+        [blk for blk, _, _ in plan],
+        [count for _, count, _ in plan],
+        [taken for _, _, taken in plan],
+    )
+    steady = {r: stats.region_cycles.get(r, 0) for r in DDC_REGIONS}
+    total = sum(steady.values())
+    fractions = {r: (c / total if total else 0.0) for r, c in steady.items()}
+    return RegionProfile(
+        n_samples=n_samples,
+        input_rate_hz=config.input_rate_hz,
+        stats=stats,
+        region_fractions=fractions,
+        out_samples=np.empty(0, dtype=np.int64),
+    )
+
+
 def profile_ddc(
     config: DDCConfig = REFERENCE_DDC,
     n_samples: int | None = None,
@@ -106,7 +196,9 @@ def profile_ddc(
     cpu = CPU(program)
     for base, words in build_memory_image(layout, input_samples).items():
         cpu.load_memory(base, words)
-    stats = cpu.run(max_instructions=400 * n_samples + 10_000, engine=engine)
+    stats = cpu.run(
+        max_instructions=_instruction_budget(n_samples), engine=engine
+    )
 
     steady = {r: stats.region_cycles.get(r, 0) for r in DDC_REGIONS}
     total = sum(steady.values())

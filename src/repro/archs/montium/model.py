@@ -8,13 +8,39 @@ TP needs 38.7 mW to perform the DDC algorithm."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ...config import DDCConfig, REFERENCE_DDC
 from ...energy.technology import TECH_130NM, TechnologyNode
-from ..base import ArchitectureModel, Flexibility, ImplementationReport
+from ...errors import ConfigurationError, MappingError
+from ..base import (
+    ArchitectureModel,
+    BatchImplementationReport,
+    Flexibility,
+    ImplementationReport,
+)
 from .ddc_mapping import build_ddc_schedule
 from .program import estimate_config_bytes
 from .schedule import analyze_schedule
+
+
+def _schedule_key(config: DDCConfig) -> tuple:
+    """The configuration fields :func:`build_ddc_schedule` reads.
+
+    Configurations that agree on these fields produce identical schedules
+    (and identical mapping errors), so a batch builds each distinct
+    schedule once.  Pinned by the batch==scalar Hypothesis suite in
+    ``tests/test_evaluator_batch.py`` — extend the key if the mapping
+    grows a new configuration dependence.
+    """
+    return (
+        config.input_rate_hz,
+        config.nco_frequency_hz,
+        config.cic2_decimation,
+        config.cic5_decimation,
+        config.fir_decimation,
+        config.fir_taps,
+    )
 
 
 @dataclass(frozen=True)
@@ -50,12 +76,12 @@ class MontiumModel(ArchitectureModel):
             and config.fir_decimation == 8
         )
 
-    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
-        program = build_ddc_schedule(config)
-        occupancy = analyze_schedule(program)
+    def _report(
+        self, config: DDCConfig, period: int, config_bytes: int
+    ) -> ImplementationReport:
+        """Assemble the Table 7 row (shared by scalar and batched paths)."""
         clock_hz = config.input_rate_hz  # one input sample per tile cycle
         power_w = clock_hz / 1e6 * self.spec.power_mw_per_mhz * 1e-3
-        config_bytes = estimate_config_bytes(program)
         return ImplementationReport(
             architecture=self.spec.name,
             technology=self.spec.technology,
@@ -65,8 +91,58 @@ class MontiumModel(ArchitectureModel):
             flexibility=Flexibility.RECONFIGURABLE,
             feasible=True,
             notes=(
-                f"5-ALU schedule, period {occupancy.period} cycles, "
+                f"5-ALU schedule, period {period} cycles, "
                 f"~{config_bytes} B configuration; 0.6 mW/MHz measured "
                 "constant"
             ),
         )
+
+    def implement(self, config: DDCConfig = REFERENCE_DDC) -> ImplementationReport:
+        program = build_ddc_schedule(config)
+        occupancy = analyze_schedule(program)
+        return self._report(
+            config, occupancy.period, estimate_config_bytes(program)
+        )
+
+    def implement_batch(
+        self, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        """Batched :meth:`implement` over a configuration axis.
+
+        Schedule construction is deduplicated on the configuration fields
+        the mapping actually reads (:func:`_schedule_key`): each distinct
+        schedule — or each distinct mapping error — is built once and
+        shared by every configuration with the same key, and the
+        power/notes arithmetic per configuration is the same as the
+        scalar path, so reports and errors are bit-identical to the
+        scalar loop.
+        """
+        built: dict[tuple, tuple[int, int] | Exception] = {}
+        reports: list[ImplementationReport | None] = []
+        errors: list[Exception | None] = []
+        for config in configs:
+            key = _schedule_key(config)
+            outcome = built.get(key)
+            if outcome is None:
+                try:
+                    program = build_ddc_schedule(config)
+                    outcome = (
+                        analyze_schedule(program).period,
+                        estimate_config_bytes(program),
+                    )
+                except (ConfigurationError, MappingError) as exc:
+                    outcome = exc
+                built[key] = outcome
+            if isinstance(outcome, Exception):
+                reports.append(None)
+                errors.append(outcome)
+            else:
+                period, config_bytes = outcome
+                reports.append(self._report(config, period, config_bytes))
+                errors.append(None)
+        return BatchImplementationReport.from_reports(
+            self.spec.name, reports, errors
+        )
+
+    def cache_key(self) -> tuple:
+        return (type(self).__qualname__, self.spec)

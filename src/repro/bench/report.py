@@ -57,9 +57,16 @@ def load_report(path: str | Path) -> dict:
     return doc
 
 
-#: Benches guarded by CI: every architecture's fast path, plus the
-#: batched scenario-sweep grid of ``repro.sweep``.
-GUARDED_BENCHES = ("rtl_ddc", "gpp_ddc", "montium_ddc", "scenario_sweep")
+#: Benches guarded by CI: every architecture's fast path, the batched
+#: scenario-sweep grid of ``repro.sweep``, and the batched
+#: architecture-model layer (``implement_batch`` vs the scalar loop).
+GUARDED_BENCHES = (
+    "rtl_ddc",
+    "gpp_ddc",
+    "montium_ddc",
+    "scenario_sweep",
+    "evaluator_batch",
+)
 
 
 def check_regression(

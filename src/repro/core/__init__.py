@@ -16,7 +16,15 @@ question as a library:
 
 from .spec import DDCSpec
 from .planner import DecimationPlan, plan_decimation, enumerate_plans
-from .evaluator import DDCEvaluator, EvaluationResult, default_models
+from .evaluator import (
+    DDCEvaluator,
+    EvaluationResult,
+    ReportCache,
+    config_cache_key,
+    default_models,
+    shared_evaluator,
+    shared_report_cache,
+)
 
 __all__ = [
     "DDCSpec",
@@ -25,5 +33,9 @@ __all__ = [
     "enumerate_plans",
     "DDCEvaluator",
     "EvaluationResult",
+    "ReportCache",
+    "config_cache_key",
     "default_models",
+    "shared_evaluator",
+    "shared_report_cache",
 ]

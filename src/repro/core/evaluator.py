@@ -3,13 +3,41 @@
 Runs every architecture model on a configuration, assembles the Table 7
 comparison, applies the paper's technology scaling, and answers the two
 Section 7 scenario questions (static winner, reconfigurable winner).
+
+Two evaluation paths exist and are **bit-identical**:
+
+- the scalar path (:meth:`DDCEvaluator.evaluate`,
+  :meth:`DDCEvaluator.scenario_candidates`) — one configuration at a
+  time through each model's scalar ``implement``, the seed behaviour and
+  the oracle;
+- the batched path (:meth:`DDCEvaluator.evaluate_batch`,
+  :meth:`DDCEvaluator.scenario_candidates_batch`) — whole
+  :class:`~repro.config.DDCConfig` axes through each model's
+  ``implement_batch`` in one call, which the sweep engine, the planner
+  and the paper artifacts ride.
+
+:class:`DDCEvaluator` is stateless: every method takes the configuration
+explicitly and two interleaved calls on one instance can never observe
+each other (the seed kept a mutable ``_last_config``, which made the
+reconfigurable-winner answer depend on call order).  :class:`ReportCache`
+memoises per-(model, configuration) reports — including mapping errors —
+behind a content-hashed key so repeated grid consumers (planner, sweep,
+paper) amortise model evaluation; :func:`shared_evaluator` is the
+per-process cached instance they share.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import functools
+from dataclasses import dataclass, fields
+from typing import Sequence
 
-from ..archs.base import ArchitectureModel, Flexibility, ImplementationReport
+from ..archs.base import (
+    ArchitectureModel,
+    BatchImplementationReport,
+    Flexibility,
+    ImplementationReport,
+)
 from ..config import DDCConfig, REFERENCE_DDC
 from ..energy.comparison import ArchitectureComparison
 from ..energy.scenarios import ScenarioAnalysis, ScenarioCandidate
@@ -36,6 +64,157 @@ def default_models() -> list[ArchitectureModel]:
     ]
 
 
+def config_cache_key(config: DDCConfig) -> tuple:
+    """Content hash of a configuration: the tuple of its field values.
+
+    Two configurations with equal fields share cache entries regardless
+    of object identity; any new :class:`~repro.config.DDCConfig` field
+    automatically extends the key.
+    """
+    return tuple(getattr(config, f.name) for f in fields(DDCConfig))
+
+
+class ReportCache:
+    """Content-hashed (model, configuration) -> implementation report cache.
+
+    Stores the *outcome* of ``model.implement(config)`` — the report, or
+    the :class:`~repro.errors.ConfigurationError` /
+    :class:`~repro.errors.MappingError` the model raised — keyed by
+    ``(model.cache_key(), config_cache_key(config))``.  Mapping errors
+    are cached too, so fully-unmappable grid points cost one model call,
+    not one per consumer.
+
+    **Picklability contract**: every entry is a frozen dataclass of
+    primitives (or a library exception), so a populated cache — and any
+    evaluator holding one — pickles cleanly; ``backend="process"`` sweep
+    workers each hold their own per-process cache
+    (:func:`shared_report_cache`) and amortise model evaluation across
+    the points they serve.
+
+    Invalidation is explicit: :meth:`invalidate` drops one model's
+    entries (after changing a model's constants in-place), :meth:`clear`
+    drops everything.  ``hits``/``misses`` make cache behaviour
+    observable for tests and benches.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple] = {}
+        # Batch-report architecture label per model key, recorded the
+        # first time a model runs so fully-cached (even fully-unmappable)
+        # batches reproduce the model's own label bit for bit.
+        self._architectures: dict[tuple, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (and reset the hit/miss counters)."""
+        self._entries.clear()
+        self._architectures.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def invalidate(self, model: ArchitectureModel) -> int:
+        """Drop every entry of one model; returns the number dropped."""
+        key = model.cache_key()
+        stale = [k for k in self._entries if k[0] == key]
+        for k in stale:
+            del self._entries[k]
+        self._architectures.pop(key, None)
+        return len(stale)
+
+    def _run_model(
+        self, model: ArchitectureModel, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        """One uncached model call, recording its architecture label."""
+        batch = model.implement_batch(configs)
+        self._architectures.setdefault(model.cache_key(), batch.architecture)
+        return batch
+
+    def _outcome(
+        self, model: ArchitectureModel, config: DDCConfig
+    ) -> tuple[ImplementationReport | None, Exception | None]:
+        key = (model.cache_key(), config_cache_key(config))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        batch = self._run_model(model, [config])
+        entry = (batch.reports[0], batch.errors[0])
+        self._entries[key] = entry
+        return entry
+
+    def implement(
+        self, model: ArchitectureModel, config: DDCConfig
+    ) -> ImplementationReport:
+        """Cached ``model.implement(config)`` (re-raises cached errors)."""
+        report, error = self._outcome(model, config)
+        if error is not None:
+            raise error
+        assert report is not None
+        return report
+
+    def implement_batch(
+        self, model: ArchitectureModel, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        """Cached ``model.implement_batch(configs)``.
+
+        Consults the cache per configuration and runs one batched model
+        call over the misses only, so a warm cache serves whole axes
+        without touching the model.
+        """
+        if not configs:
+            return self._run_model(model, configs)
+        model_key = model.cache_key()
+        outcomes: list[tuple | None] = []
+        missing: list[int] = []
+        for i, config in enumerate(configs):
+            entry = self._entries.get((model_key, config_cache_key(config)))
+            if entry is None:
+                missing.append(i)
+            else:
+                self.hits += 1
+            outcomes.append(entry)
+        if missing:
+            self.misses += len(missing)
+            fresh = self._run_model(
+                model, [configs[i] for i in missing]
+            )
+            for j, i in enumerate(missing):
+                entry = (fresh.reports[j], fresh.errors[j])
+                self._entries[
+                    (model_key, config_cache_key(configs[i]))
+                ] = entry
+                outcomes[i] = entry
+        reports = [entry[0] for entry in outcomes]  # type: ignore[index]
+        errors = [entry[1] for entry in outcomes]  # type: ignore[index]
+        return BatchImplementationReport.from_reports(
+            self._architectures.get(model_key, model.name), reports, errors
+        )
+
+
+@functools.lru_cache(maxsize=1)
+def shared_report_cache() -> ReportCache:
+    """The per-process report cache planner/sweep/paper consumers share."""
+    return ReportCache()
+
+
+@functools.lru_cache(maxsize=1)
+def shared_evaluator() -> DDCEvaluator:
+    """One cached default evaluator per process.
+
+    Grid consumers (the sweep engine, the paper artifacts, the benches)
+    share this instance so model construction and per-configuration
+    reports are paid once per process — in particular inside
+    ``backend="process"`` pool workers, which rebuild it lazily on first
+    use and then serve every point they are handed from the warm cache.
+    """
+    return DDCEvaluator(cache=shared_report_cache())
+
+
 @dataclass
 class EvaluationResult:
     """Everything the evaluation produced."""
@@ -52,21 +231,60 @@ class EvaluationResult:
 
 
 class DDCEvaluator:
-    """Evaluates a DDC configuration across architecture models."""
+    """Evaluates DDC configurations across architecture models.
 
-    def __init__(self, models: list[ArchitectureModel] | None = None) -> None:
+    Stateless: configurations are threaded explicitly through every
+    method, so one instance serves interleaved or concurrent evaluations
+    of different configurations correctly.  ``cache`` (optional) memoises
+    per-(model, configuration) reports; the default ``None`` keeps every
+    call a fresh model run — the scalar-oracle behaviour the sweep
+    verification compares against.
+    """
+
+    def __init__(
+        self,
+        models: list[ArchitectureModel] | None = None,
+        cache: ReportCache | None = None,
+    ) -> None:
         self.models = models if models is not None else default_models()
         if not self.models:
             raise ConfigurationError("need at least one architecture model")
-        self._last_config: DDCConfig = REFERENCE_DDC
+        self.cache = cache
 
+    # ------------------------------------------------------------- plumbing
+    def _implement(
+        self, model: ArchitectureModel, config: DDCConfig
+    ) -> ImplementationReport:
+        if self.cache is None:
+            return model.implement(config)
+        return self.cache.implement(model, config)
+
+    def _implement_batch(
+        self, model: ArchitectureModel, configs: Sequence[DDCConfig]
+    ) -> BatchImplementationReport:
+        if self.cache is None:
+            return model.implement_batch(configs)
+        return self.cache.implement_batch(model, configs)
+
+    def _dynamic_powers(
+        self, model: ArchitectureModel, configs: Sequence[DDCConfig]
+    ) -> list[float] | None:
+        """Batched ``dynamic_power_w`` per config (None: model has none)."""
+        dyn = getattr(model, "dynamic_power_w", None)
+        if dyn is None:
+            return None
+        dyn_batch = getattr(model, "dynamic_power_batch", None)
+        if dyn_batch is not None:
+            return dyn_batch(configs)
+        return [dyn(c) for c in configs]
+
+    # ------------------------------------------------------------ evaluate
     def evaluate(self, config: DDCConfig = REFERENCE_DDC) -> EvaluationResult:
         """Run every model; build the comparison and scenario answers."""
-        self._last_config = config
         reports: list[ImplementationReport] = []
         comparison = ArchitectureComparison(TECH_130NM)
         for model in self.models:
-            report = model.implement(config)
+            report = self._implement(model, config)
             reports.append(report)
             scaled = None
             dyn_only = getattr(model, "dynamic_power_w", None)
@@ -79,9 +297,67 @@ class DDCEvaluator:
             comparison.add(report, scaled_power_w=scaled)
 
         static = self._static_winner(reports)
-        reconf = self._reconfigurable_winner(reports)
+        reconf = self._reconfigurable_winner(reports, config)
         return EvaluationResult(config, reports, comparison, static, reconf)
 
+    def evaluate_batch(
+        self, configs: Sequence[DDCConfig]
+    ) -> list[EvaluationResult]:
+        """Batched :meth:`evaluate` over a whole configuration axis.
+
+        One ``implement_batch`` call per model serves every
+        configuration, and the dynamic-power components batch through
+        ``dynamic_power_batch`` where a model provides it; each returned
+        result is bit-identical to the scalar :meth:`evaluate` of the
+        same configuration, and a configuration some model cannot map
+        raises exactly the scalar call's error.
+        """
+        if not configs:
+            return []
+        batches = [
+            self._implement_batch(model, configs) for model in self.models
+        ]
+        # Materialise reports first so an unmappable configuration raises
+        # the same error, at the same model, as the scalar path would.
+        per_config_reports = [
+            [batch.report_at(i) for batch in batches]
+            for i in range(len(configs))
+        ]
+        dyn_powers = [
+            self._dynamic_powers(model, configs) for model in self.models
+        ]
+        results = []
+        for i, config in enumerate(configs):
+            reports = per_config_reports[i]
+            comparison = ArchitectureComparison(TECH_130NM)
+            for j, report in enumerate(reports):
+                scaled = None
+                if (
+                    dyn_powers[j] is not None
+                    and report.technology.feature_um < 0.13
+                ):
+                    scaled = scale_power(
+                        dyn_powers[j][i], report.technology, TECH_130NM
+                    )
+                comparison.add(report, scaled_power_w=scaled)
+            results.append(
+                EvaluationResult(
+                    config,
+                    reports,
+                    comparison,
+                    self._static_winner(reports),
+                    self._reconfigurable_winner(
+                        reports, config,
+                        dyn_powers=[
+                            d[i] if d is not None else None
+                            for d in dyn_powers
+                        ],
+                    ),
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------- winners
     def _static_winner(self, reports: list[ImplementationReport]) -> str:
         """Section 7.1: full-time DDC -> lowest feasible native power."""
         feasible = [r for r in reports if r.feasible]
@@ -90,7 +366,10 @@ class DDCEvaluator:
         return min(feasible, key=lambda r: r.power_w).architecture
 
     def _reconfigurable_winner(
-        self, reports: list[ImplementationReport]
+        self,
+        reports: list[ImplementationReport],
+        config: DDCConfig,
+        dyn_powers: Sequence[float | None] | None = None,
     ) -> str:
         """Section 7.2: part-time DDC -> best *reconfigurable* architecture.
 
@@ -102,22 +381,57 @@ class DDCEvaluator:
         0.09 um) beats the Montium's 38.7 mW, the paper's "best performing
         architecture at the reconfigurable area is the Altera Cyclone II
         due to its smaller technology size".
+
+        ``config`` is the configuration the reports were produced for —
+        threaded explicitly (the evaluator keeps no per-call state);
+        ``dyn_powers`` optionally carries pre-batched dynamic powers so
+        the batched path avoids per-config model calls.
         """
         best_name = None
         best_power = float("inf")
-        for model, report in zip(self.models, reports):
+        for j, (model, report) in enumerate(zip(self.models, reports)):
             if not report.feasible:
                 continue
             if report.flexibility == Flexibility.FIXED_FUNCTION:
                 continue
-            dyn = getattr(model, "dynamic_power_w", None)
-            power = dyn(self._last_config) if dyn else report.power_w
+            if dyn_powers is not None:
+                dyn_value = dyn_powers[j]
+                power = dyn_value if dyn_value is not None else report.power_w
+            else:
+                dyn = getattr(model, "dynamic_power_w", None)
+                power = dyn(config) if dyn else report.power_w
             if power < best_power:
                 best_power = power
                 best_name = report.architecture
         if best_name is None:
             raise ConfigurationError("no reconfigurable architecture fits")
         return best_name
+
+    # ----------------------------------------------------------- scenarios
+    @staticmethod
+    def _candidate(
+        report: ImplementationReport, standby_fraction: float
+    ) -> ScenarioCandidate:
+        """One feasible report as a scenario candidate (both paths)."""
+        return ScenarioCandidate(
+            name=report.architecture,
+            active_power_w=report.power_w,
+            standby_power_w=report.power_w * standby_fraction,
+            reusable=report.flexibility != Flexibility.FIXED_FUNCTION,
+        )
+
+    @staticmethod
+    def _require_candidates(
+        candidates: list[ScenarioCandidate], config: DDCConfig
+    ) -> list[ScenarioCandidate]:
+        """A fully-unmappable/infeasible grid point is a clear error, not
+        an empty list for ``ScenarioAnalysis`` to choke on downstream."""
+        if not candidates:
+            raise ConfigurationError(
+                "no architecture yields a feasible scenario candidate for "
+                f"{config}"
+            )
+        return candidates
 
     def scenario_candidates(
         self, config: DDCConfig = REFERENCE_DDC,
@@ -134,36 +448,67 @@ class DDCEvaluator:
         configuration at all (they raise ``ConfigurationError`` /
         ``MappingError`` — e.g. the Montium schedule only implements the
         reference decimation plan) instead of propagating — the behaviour
-        sweeps over off-reference grids need.
+        sweeps over off-reference grids need.  A configuration no model
+        maps into a feasible candidate raises a
+        :class:`~repro.errors.ConfigurationError` naming it.
         """
         from ..errors import MappingError
 
         candidates = []
         for model in self.models:
             try:
-                report = model.implement(config)
+                report = self._implement(model, config)
             except (ConfigurationError, MappingError):
                 if strict:
                     raise
                 continue
             if not report.feasible:
                 continue
-            reusable = report.flexibility != Flexibility.FIXED_FUNCTION
-            candidates.append(
-                ScenarioCandidate(
-                    name=report.architecture,
-                    active_power_w=report.power_w,
-                    standby_power_w=report.power_w * standby_fraction,
-                    reusable=reusable,
-                )
-            )
-        return candidates
+            candidates.append(self._candidate(report, standby_fraction))
+        return self._require_candidates(candidates, config)
+
+    def scenario_candidates_batch(
+        self,
+        configs: Sequence[DDCConfig],
+        standby_fraction: float = 0.05,
+        strict: bool = True,
+    ) -> list[list[ScenarioCandidate]]:
+        """Batched :meth:`scenario_candidates` over a configuration axis.
+
+        One ``implement_batch`` call per model serves the whole axis; the
+        per-configuration candidate lists (and every raised error) are
+        bit-identical to the scalar path's.
+        """
+        batches = [
+            self._implement_batch(model, configs) for model in self.models
+        ]
+        out: list[list[ScenarioCandidate]] = []
+        for i, config in enumerate(configs):
+            candidates = []
+            for batch in batches:
+                error = batch.errors[i]
+                if error is not None:
+                    if strict:
+                        raise error
+                    continue
+                report = batch.reports[i]
+                assert report is not None
+                if not report.feasible:
+                    continue
+                candidates.append(self._candidate(report, standby_fraction))
+            out.append(self._require_candidates(candidates, config))
+        return out
 
     def scenario_analysis(
         self, config: DDCConfig = REFERENCE_DDC,
         standby_fraction: float = 0.05,
     ) -> ScenarioAnalysis:
-        """Duty-cycle analysis over all feasible architectures."""
+        """Duty-cycle analysis over all feasible architectures.
+
+        Rides the batched candidate path (one ``implement_batch`` per
+        model), which is bit-identical to the scalar
+        :meth:`scenario_candidates`.
+        """
         return ScenarioAnalysis(
-            self.scenario_candidates(config, standby_fraction)
+            self.scenario_candidates_batch([config], standby_fraction)[0]
         )

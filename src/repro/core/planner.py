@@ -63,34 +63,50 @@ def _planner_cost_model():
     return LowPowerDDCModel()
 
 
-def _evaluate_split(
+def _evaluate_splits(
     spec: DDCSpec,
     min_rejection_db: float,
     fir_taps: int,
-    split: tuple[int, int, int],
-) -> DecimationPlan | None:
-    """Cost one candidate split.
+    splits: tuple[tuple[int, int, int], ...],
+) -> list[DecimationPlan | None]:
+    """Cost a chunk of candidate splits through the batched model layer.
 
     Module-level over picklable arguments (the task-descriptor idiom of
     :mod:`repro.parallel`), so plan enumeration can fan out over
-    ``backend="process"`` as well as threads.
+    ``backend="process"`` as well as threads.  The chunk's valid
+    configurations are costed in one
+    ``LowPowerDDCModel.implement_batch`` pass through the per-process
+    shared report cache (:func:`repro.core.evaluator.shared_report_cache`)
+    — repeated enumerations of the same spec never re-run the cost model
+    — and unmappable splits come back ``None`` exactly like the seed's
+    per-split scalar loop.
     """
-    cic2, cic5, fir = split
-    try:
-        config = spec.to_config(cic2, cic5, fir, fir_taps)
-    except ConfigurationError:
-        return None
-    rejection = _chain_rejection(config, spec.bandwidth_hz)
-    if rejection < min_rejection_db:
-        return None
-    cost_model = _planner_cost_model()
-    if not cost_model.supports(config):
-        return None
-    try:
-        cost = cost_model.estimate_power_w(config)
-    except ConfigurationError:
-        return None
-    return DecimationPlan(cic2, cic5, fir, cost, rejection)
+    from .evaluator import shared_report_cache
+
+    plans: list[DecimationPlan | None] = [None] * len(splits)
+    prepared: list[tuple[int, DDCConfig, float]] = []
+    for k, (cic2, cic5, fir) in enumerate(splits):
+        try:
+            config = spec.to_config(cic2, cic5, fir, fir_taps)
+        except ConfigurationError:
+            continue
+        rejection = _chain_rejection(config, spec.bandwidth_hz)
+        if rejection < min_rejection_db:
+            continue
+        prepared.append((k, config, rejection))
+    if not prepared:
+        return plans
+    batch = shared_report_cache().implement_batch(
+        _planner_cost_model(), [config for _, config, _ in prepared]
+    )
+    for (k, _, rejection), report in zip(prepared, batch.reports):
+        if report is None:  # out of the supported decimation range
+            continue
+        cic2, cic5, fir = splits[k]
+        plans[k] = DecimationPlan(
+            cic2, cic5, fir, report.power_w, rejection
+        )
+    return plans
 
 
 def enumerate_plans(
@@ -103,11 +119,13 @@ def enumerate_plans(
 ) -> list[DecimationPlan]:
     """All valid plans for ``spec``, best (lowest cost) first.
 
-    ``workers`` evaluates candidate splits on a pool (``backend`` picks
-    threads or processes; see :mod:`repro.parallel` — the split evaluator
-    is a picklable task descriptor, not a closure).  The result is
-    identical to the serial sweep — candidates are generated and kept in
-    deterministic order and the final sort is stable.
+    The candidate splits are costed through the batched model layer
+    (one ``implement_batch`` pass per chunk, cached per process);
+    ``workers`` fans contiguous chunks out on a pool (``backend`` picks
+    threads or processes; see :mod:`repro.parallel` — the chunk
+    evaluator is a picklable task descriptor, not a closure).  The
+    result is identical to the serial sweep — candidates are generated
+    and kept in deterministic order and the final sort is stable.
     """
     from ..parallel import parallel_map
 
@@ -125,14 +143,21 @@ def enumerate_plans(
                 continue
             candidates.append((cic2, cic5, fir))
 
+    n_chunks = max(1, min(workers or 1, len(candidates)))
+    chunk_size = -(-len(candidates) // n_chunks) if candidates else 1
+    chunks = [
+        tuple(candidates[i:i + chunk_size])
+        for i in range(0, len(candidates), chunk_size)
+    ]
     evaluate = functools.partial(
-        _evaluate_split, spec, min_rejection_db, fir_taps
+        _evaluate_splits, spec, min_rejection_db, fir_taps
     )
     plans = [
         p
-        for p in parallel_map(
-            evaluate, candidates, workers=workers, backend=backend
+        for chunk_plans in parallel_map(
+            evaluate, chunks, workers=workers, backend=backend
         )
+        for p in chunk_plans
         if p is not None
     ]
     plans.sort(key=lambda p: p.cost)

@@ -110,13 +110,14 @@ def figure_duty_cycle(
     Not a numbered figure in the paper — the conclusion argues it in
     prose — but the natural plot of its scenario analysis: which
     architecture is cheapest at each DDC duty cycle.  Rendered from one
-    batched pass of the sweep engine; the payload is the full
-    :class:`~repro.energy.scenarios.ScenarioGrid`.
+    batched pass of the sweep engine over candidates produced by the
+    batched model layer (the per-process shared evaluator); the payload
+    is the full :class:`~repro.energy.scenarios.ScenarioGrid`.
     """
-    from ..core.evaluator import DDCEvaluator
+    from ..core.evaluator import shared_evaluator
     from ..sweep import duty_cycle_grid
 
-    analysis = DDCEvaluator().scenario_analysis(config)
+    analysis = shared_evaluator().scenario_analysis(config)
     grid = duty_cycle_grid(analysis, steps)
     regions = grid.winning_regions()
     keys = {name: str(j) for j, name in enumerate(grid.names)}

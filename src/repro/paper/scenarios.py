@@ -35,15 +35,18 @@ def section7_scenarios(
 ) -> Section7Result:
     """Recompute the paper's conclusion.
 
-    The duty-cycle map rides the batched sweep engine
-    (:func:`repro.sweep.duty_cycle_grid` — one numpy pass over the whole
-    grid) rather than 501 scalar evaluations; the output is bit-identical
-    either way.
+    Batched end to end: the architecture models run through the shared
+    evaluator's ``evaluate_batch``/``scenario_analysis`` (each model's
+    ``implement_batch``, cached per process) and the duty-cycle map rides
+    the batched sweep engine (:func:`repro.sweep.duty_cycle_grid` — one
+    numpy pass over the whole grid) rather than 501 scalar evaluations;
+    the output is bit-identical to the scalar paths either way.
     """
+    from ..core.evaluator import shared_evaluator
     from ..sweep import duty_cycle_grid
 
-    ev = evaluator or DDCEvaluator()
-    result = ev.evaluate(config)
+    ev = evaluator or shared_evaluator()
+    result = ev.evaluate_batch([config])[0]
     grid = duty_cycle_grid(ev.scenario_analysis(config), steps)
     return Section7Result(
         static_winner=result.static_winner,

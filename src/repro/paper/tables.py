@@ -225,10 +225,16 @@ def table7(
 ) -> TableResult:
     """Table 7: summary of results across all architectures.
 
+    Rides the batched model layer — the default evaluator is the
+    per-process :func:`~repro.core.evaluator.shared_evaluator` (cached
+    ``implement_batch`` reports, bit-identical to the scalar path);
     ``evaluator`` lets callers that already paid for the model runs (the
-    sweep subsystem, the artifacts CLI) share one evaluator instance.
+    sweep subsystem, the artifacts CLI) share their own instance.
     """
-    result = (evaluator or DDCEvaluator()).evaluate(config)
+    from ..core.evaluator import shared_evaluator
+
+    ev = evaluator or shared_evaluator()
+    result = ev.evaluate_batch([config])[0]
     rows = []
     for r in result.comparison.rows:
         area = f"{r.area_mm2:.1f}mm2" if r.area_mm2 is not None else "n.a."

@@ -2,21 +2,31 @@
 
 :func:`evaluate_point` turns one :class:`~repro.sweep.spec.SweepPoint`
 into a :class:`PointResult`: it binds the point to a configuration, runs
-the architecture models once, and evaluates the whole duty-cycle x
-candidate grid through the batched scenario APIs
+the architecture models through the **batched model layer**
+(:meth:`~repro.core.evaluator.DDCEvaluator.scenario_candidates_batch`,
+i.e. each model's ``implement_batch`` — no scalar ``implement`` call sits
+on the grid hot path), and evaluates the whole duty-cycle x candidate
+grid through the batched scenario APIs
 (:meth:`~repro.energy.scenarios.ScenarioAnalysis.evaluate_batch`,
 :func:`~repro.energy.scenarios.duty_cycle_crossover_batch`).
+:func:`run_sweep` goes one level further: the *entire configuration axis*
+is served by one ``scenario_candidates_batch`` call before any grid math
+runs, and the per-process :func:`~repro.core.evaluator.shared_evaluator`
+report cache amortises repeated configurations across sweeps.
 
 ``engine="scalar"`` evaluates the same grid through the seed scalar path
-(one :meth:`~repro.energy.scenarios.ScenarioAnalysis.evaluate` call per
-duty cycle, one pairwise crossover at a time).  Both engines emit
-bit-identical :class:`PointResult` s — the scalar engine is the oracle the
-``python -m repro.sweep --verify`` mode and the ``scenario_sweep`` bench
-baseline run against.
+(per-point scalar ``implement`` model runs, one
+:meth:`~repro.energy.scenarios.ScenarioAnalysis.evaluate` call per duty
+cycle, one pairwise crossover at a time).  Both engines emit bit-identical
+:class:`PointResult` s — the scalar engine is the oracle the
+``python -m repro.sweep --verify`` mode and the ``scenario_sweep`` /
+``evaluator_batch`` bench baselines run against.
 
-Everything here is a module-level callable over picklable descriptors, so
-:func:`run_sweep` can fan points out over ``backend="process"`` pools
-(see :mod:`repro.parallel`) with deterministic, serial-identical output.
+Everything here is a module-level callable over picklable descriptors
+(:class:`~repro.energy.scenarios.ScenarioCandidate` lists are frozen
+dataclasses of primitives), so :func:`run_sweep` can fan points out over
+``backend="process"`` pools (see :mod:`repro.parallel`) with
+deterministic, serial-identical output.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from typing import Any
 
 import numpy as np
 
-from ..core.evaluator import DDCEvaluator
+from ..core.evaluator import DDCEvaluator, shared_evaluator
 from ..energy.scenarios import (
     ScenarioAnalysis,
     ScenarioCandidate,
@@ -117,28 +127,64 @@ def _select_candidates(
     return selected
 
 
-def evaluate_point(
-    spec: SweepSpec, point: SweepPoint, engine: str = "batch"
-) -> PointResult:
-    """Evaluate one grid point (module-level: safe for process pools)."""
+def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown sweep engine {engine!r}; expected one of {ENGINES}"
         )
+
+
+def point_candidates(
+    spec: SweepSpec, point: SweepPoint, engine: str = "batch"
+) -> list[ScenarioCandidate]:
+    """The point's scenario candidates through the selected model path.
+
+    ``engine="batch"`` rides the shared evaluator's
+    ``scenario_candidates_batch`` (each model's ``implement_batch``, with
+    the per-process report cache); ``engine="scalar"`` runs the seed
+    scalar path on a fresh, uncached evaluator.  Both are bit-identical.
+    strict=False either way: architectures whose model cannot map this
+    point (e.g. the Montium off its reference schedule) drop out of the
+    candidate set instead of aborting the whole sweep.
+    """
+    _check_engine(engine)
     config = spec.config_at(point)
-    # strict=False: architectures whose model cannot map this point (e.g.
-    # the Montium off its reference schedule) drop out of the candidate
-    # set instead of aborting the whole sweep.
-    candidates = _select_candidates(
-        DDCEvaluator().scenario_candidates(
+    if engine == "batch":
+        candidates = shared_evaluator().scenario_candidates_batch(
+            [config], spec.standby_fraction, strict=False
+        )[0]
+    else:
+        candidates = DDCEvaluator().scenario_candidates(
             config, spec.standby_fraction, strict=False
-        ),
-        spec,
-    )
-    if not candidates:
-        raise ConfigurationError(
-            f"no feasible architecture maps point {point.label()!r}"
         )
+    return _select_candidates(candidates, spec)
+
+
+def evaluate_point(
+    spec: SweepSpec, point: SweepPoint, engine: str = "batch"
+) -> PointResult:
+    """Evaluate one grid point (module-level: safe for process pools)."""
+    _check_engine(engine)
+    return _point_result(
+        spec, point, point_candidates(spec, point, engine), engine
+    )
+
+
+def _evaluate_prepared_point(
+    spec: SweepSpec, engine: str, item: tuple[SweepPoint, list]
+) -> PointResult:
+    """Grid math over pre-batched candidates (picklable pool task)."""
+    point, candidates = item
+    return _point_result(spec, point, candidates, engine)
+
+
+def _point_result(
+    spec: SweepSpec,
+    point: SweepPoint,
+    candidates: list[ScenarioCandidate],
+    engine: str,
+) -> PointResult:
+    """The duty-cycle x candidate grid of one point, either engine."""
     analysis = ScenarioAnalysis(candidates)
     steps = spec.duty_cycle_steps
     names = analysis.names
@@ -205,21 +251,38 @@ def run_sweep(
 ):
     """Execute the whole grid; returns a :class:`~repro.sweep.report.SweepReport`.
 
-    ``workers``/``backend`` fan configuration points out via
-    :func:`repro.parallel.parallel_map` — the task is a
-    :func:`functools.partial` of :func:`evaluate_point` over the picklable
-    spec/point descriptors, so ``backend="process"`` works and every
-    combination of knobs returns byte-identical reports in point order.
+    With ``engine="batch"`` the whole configuration axis goes through
+    **one** ``scenario_candidates_batch`` pass (each architecture model's
+    ``implement_batch`` runs once over every point) before any grid math;
+    ``workers``/``backend`` then fan the per-point duty-cycle grids out
+    via :func:`repro.parallel.parallel_map` over picklable
+    (point, candidates) descriptors, so ``backend="process"`` ships no
+    model work to the children at all.  The scalar oracle engine keeps
+    the seed shape — a fresh evaluator running scalar ``implement`` per
+    point.  Every combination of knobs returns byte-identical reports in
+    point order.
     """
     from .report import SweepReport
 
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"unknown sweep engine {engine!r}; expected one of {ENGINES}"
+    _check_engine(engine)
+    points = spec.points()
+    if engine == "batch":
+        configs = [spec.config_at(p) for p in points]
+        per_point = shared_evaluator().scenario_candidates_batch(
+            configs, spec.standby_fraction, strict=False
         )
-    task = functools.partial(evaluate_point, spec, engine=engine)
-    results = parallel_map(
-        task, spec.points(), workers=workers, backend=backend
-    )
+        items = [
+            (point, _select_candidates(candidates, spec))
+            for point, candidates in zip(points, per_point)
+        ]
+        task = functools.partial(_evaluate_prepared_point, spec, engine)
+        results = parallel_map(
+            task, items, workers=workers, backend=backend
+        )
+    else:
+        task = functools.partial(evaluate_point, spec, engine=engine)
+        results = parallel_map(
+            task, points, workers=workers, backend=backend
+        )
     duty = tuple(float(d) for d in np.asarray(spec.duty_cycles()))
     return SweepReport(spec=spec, duty_cycles=duty, points=results)
