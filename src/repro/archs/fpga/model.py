@@ -20,7 +20,12 @@ from ..base import (
 )
 from .devices import CYCLONE_II_EP2C5, FPGADevice
 from .power import FPGAPowerModel
-from .resources import ResourceUsage, estimate_ddc_resources, require_fit
+from .resources import (
+    ResourceUsage,
+    estimate_ddc_resources,
+    estimate_ddc_resources_batch,
+    require_fit,
+)
 
 
 class CycloneModel(ArchitectureModel):
@@ -82,23 +87,27 @@ class CycloneModel(ArchitectureModel):
     ) -> BatchImplementationReport:
         """Batched :meth:`implement` over a configuration axis.
 
-        Resource estimation (integer bookkeeping) runs per configuration
-        with the same fit check as the scalar path; the power arithmetic
-        for every mappable configuration is one
+        Resource estimation is one
+        :func:`~repro.archs.fpga.resources.estimate_ddc_resources_batch`
+        numpy pass (bit-identical integer bookkeeping); designs that do
+        not fit re-run the scalar :func:`require_fit` to record the
+        scalar-identical :class:`~repro.errors.MappingError`, and the
+        power arithmetic for every mappable configuration is one
         :meth:`FPGAPowerModel.estimate_batch` numpy pass, bit-identical
         to the scalar estimates.
         """
+        estimated, errors = estimate_ddc_resources_batch(
+            self.device, configs
+        )
         usages: list[ResourceUsage | None] = []
-        errors: list[Exception | None] = []
-        for config in configs:
-            try:
-                usage = estimate_ddc_resources(self.device, config)
-                require_fit(usage, self.device)
-                usages.append(usage)
-                errors.append(None)
-            except (ConfigurationError, MappingError) as exc:
-                usages.append(None)
-                errors.append(exc)
+        for i, usage in enumerate(estimated):
+            if usage is not None and not usage.fits(self.device):
+                try:
+                    require_fit(usage, self.device)
+                except (ConfigurationError, MappingError) as exc:
+                    errors[i] = exc
+                    usage = None
+            usages.append(usage)
         mappable = [i for i, u in enumerate(usages) if u is not None]
         reports: list[ImplementationReport | None] = [None] * len(configs)
         if mappable:
@@ -127,12 +136,20 @@ class CycloneModel(ArchitectureModel):
 
     def dynamic_power_batch(self, configs: Sequence[DDCConfig]) -> list[float]:
         """Batched :meth:`dynamic_power_w`: one
-        :meth:`FPGAPowerModel.estimate_batch` pass over the axis."""
+        :func:`~repro.archs.fpga.resources.estimate_ddc_resources_batch`
+        pass plus one :meth:`FPGAPowerModel.estimate_batch` pass over the
+        axis.  A configuration the estimator rejects raises exactly the
+        scalar :meth:`dynamic_power_w` error."""
         if not configs:
             return []
-        usages = [
-            estimate_ddc_resources(self.device, c) for c in configs
-        ]
+        estimated, errors = estimate_ddc_resources_batch(
+            self.device, configs
+        )
+        usages = []
+        for usage, error in zip(estimated, errors):
+            if error is not None:
+                raise error
+            usages.append(usage)
         breakdowns = self.power_model.estimate_batch(
             usages,
             self.internal_toggle,

@@ -58,14 +58,16 @@ def load_report(path: str | Path) -> dict:
 
 
 #: Benches guarded by CI: every architecture's fast path, the batched
-#: scenario-sweep grid of ``repro.sweep``, and the batched
-#: architecture-model layer (``implement_batch`` vs the scalar loop).
+#: scenario-sweep grid of ``repro.sweep``, the batched
+#: architecture-model layer (``implement_batch`` vs the scalar loop) and
+#: the adaptive design-space explorer of ``repro.explore``.
 GUARDED_BENCHES = (
     "rtl_ddc",
     "gpp_ddc",
     "montium_ddc",
     "scenario_sweep",
     "evaluator_batch",
+    "explore_frontier",
 )
 
 

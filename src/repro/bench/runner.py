@@ -408,4 +408,46 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
         "deduped Montium schedules, vectorised power arithmetic) vs the "
         "scalar implement loop",
     )
+
+    # Design-space exploration: adaptive refinement vs the dense scalar
+    # oracle on the reference input-rate space.  Units are delivered
+    # target-resolution cells per second — both engines answer for every
+    # cell; the adaptive engine just evaluates far fewer of them (and
+    # batches what it does evaluate).  Fresh evaluators/caches per run
+    # keep the pair honest (no report-cache carry-over between repeats).
+    # The guarded adaptive measurement always runs the full reference
+    # space; quick mode only shortens the slow dense baseline (its
+    # cells/sec throughput is resolution-independent).
+    from ..core.evaluator import ReportCache
+    from ..explore import ExploreSpec, run_explore
+
+    say("bench explore_frontier (adaptive engine) ...")
+    explore_spec = ExploreSpec()
+    exp_reps = 3 if quick else min(7, repeats)
+    exp_secs = time_fn(
+        lambda: run_explore(
+            explore_spec, "adaptive", DDCEvaluator(cache=ReportCache())
+        ),
+        repeats=exp_reps,
+    )
+    say("bench explore_frontier (dense scalar oracle baseline, slow) ...")
+    base_spec = (
+        ExploreSpec(target_steps=17) if quick else explore_spec
+    )
+    exp_base = time_fn(
+        lambda: run_explore(base_spec, "dense", DDCEvaluator()),
+        repeats=1, warmup=0,
+    )
+    results["explore_frontier"] = BenchResult(
+        name="explore_frontier",
+        samples_per_sec=explore_spec.n_cells / exp_secs,
+        seconds=exp_secs,
+        repeats=exp_reps,
+        n_samples=explore_spec.n_cells,
+        baseline_samples_per_sec=base_spec.n_cells / exp_base,
+        baseline_seconds=exp_base,
+        notes="reference input-rate design space, target cells/sec; "
+        "adaptive refinement (batched model passes, vectorised Pareto) "
+        "vs the dense scalar-oracle grid",
+    )
     return results

@@ -125,6 +125,45 @@ class ReportCache:
         self._architectures.pop(key, None)
         return len(stale)
 
+    # ------------------------------------------------------- store hook
+    def entries(self):
+        """Iterate ``(model_key, config_key, report, error)`` tuples.
+
+        The export side of the on-disk spill
+        (:class:`repro.explore.store.ReportStore`): every entry is a
+        frozen dataclass of primitives or a library exception, exactly
+        what the picklability contract already guarantees.
+        """
+        for (model_key, config_key), (report, error) in self._entries.items():
+            yield model_key, config_key, report, error
+
+    def insert(
+        self,
+        model_key: tuple,
+        config_key: tuple,
+        report: ImplementationReport | None,
+        error: Exception | None,
+    ) -> None:
+        """Warm-start one entry (the import side of the on-disk spill).
+
+        Counts as neither a hit nor a miss; the entry must honour the
+        cache contract (a report or a cached mapping error, keyed by the
+        model's ``cache_key()`` and :func:`config_cache_key` content).
+        """
+        if (report is None) == (error is None):
+            raise ConfigurationError(
+                "a cache entry is exactly one of report or error"
+            )
+        self._entries[(model_key, tuple(config_key))] = (report, error)
+
+    def architecture_labels(self) -> dict[tuple, str]:
+        """Per-model batch-report labels recorded so far (store payload)."""
+        return dict(self._architectures)
+
+    def insert_architecture(self, model_key: tuple, label: str) -> None:
+        """Warm-start one model's batch-report architecture label."""
+        self._architectures.setdefault(model_key, label)
+
     def _run_model(
         self, model: ArchitectureModel, configs: Sequence[DDCConfig]
     ) -> BatchImplementationReport:
@@ -265,6 +304,19 @@ class DDCEvaluator:
         if self.cache is None:
             return model.implement_batch(configs)
         return self.cache.implement_batch(model, configs)
+
+    def report_batches(
+        self, configs: Sequence[DDCConfig]
+    ) -> list[BatchImplementationReport]:
+        """One :class:`~repro.archs.base.BatchImplementationReport` per
+        model over the whole configuration axis, in model order.
+
+        The raw material of the batched consumers: the scenario candidate
+        builder (:meth:`scenario_candidates_from_batches`) and the
+        design-space explorer's Pareto engine both reuse the same batches
+        so each model runs (or hits the cache) exactly once per axis.
+        """
+        return [self._implement_batch(model, configs) for model in self.models]
 
     def _dynamic_powers(
         self, model: ArchitectureModel, configs: Sequence[DDCConfig]
@@ -479,9 +531,23 @@ class DDCEvaluator:
         per-configuration candidate lists (and every raised error) are
         bit-identical to the scalar path's.
         """
-        batches = [
-            self._implement_batch(model, configs) for model in self.models
-        ]
+        return self.scenario_candidates_from_batches(
+            self.report_batches(configs), configs, standby_fraction, strict
+        )
+
+    def scenario_candidates_from_batches(
+        self,
+        batches: Sequence[BatchImplementationReport],
+        configs: Sequence[DDCConfig],
+        standby_fraction: float = 0.05,
+        strict: bool = True,
+    ) -> list[list[ScenarioCandidate]]:
+        """Candidate lists from already-materialised model batches.
+
+        Split out of :meth:`scenario_candidates_batch` so consumers that
+        also need the batches themselves (the explorer's Pareto engine)
+        can evaluate each model once and build both views from it.
+        """
         out: list[list[ScenarioCandidate]] = []
         for i, config in enumerate(configs):
             candidates = []

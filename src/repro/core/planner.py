@@ -69,20 +69,20 @@ def _evaluate_splits(
     fir_taps: int,
     splits: tuple[tuple[int, int, int], ...],
 ) -> list[DecimationPlan | None]:
-    """Cost a chunk of candidate splits through the batched model layer.
+    """Cost a chunk of candidate splits through the cost-only batch path.
 
     Module-level over picklable arguments (the task-descriptor idiom of
     :mod:`repro.parallel`), so plan enumeration can fan out over
     ``backend="process"`` as well as threads.  The chunk's valid
     configurations are costed in one
-    ``LowPowerDDCModel.implement_batch`` pass through the per-process
-    shared report cache (:func:`repro.core.evaluator.shared_report_cache`)
-    — repeated enumerations of the same spec never re-run the cost model
-    — and unmappable splits come back ``None`` exactly like the seed's
+    ``LowPowerDDCModel.estimate_power_batch`` pass — struct-of-arrays
+    end to end: the planner only reads the power column, so no
+    :class:`~repro.archs.base.ImplementationReport` is materialised just
+    to be thrown away (the batch powers are bit-identical to the
+    reports' ``power_w``, pinned by ``tests/test_core.py``) — and
+    unmappable splits come back ``None`` exactly like the seed's
     per-split scalar loop.
     """
-    from .evaluator import shared_report_cache
-
     plans: list[DecimationPlan | None] = [None] * len(splits)
     prepared: list[tuple[int, DDCConfig, float]] = []
     for k, (cic2, cic5, fir) in enumerate(splits):
@@ -96,15 +96,15 @@ def _evaluate_splits(
         prepared.append((k, config, rejection))
     if not prepared:
         return plans
-    batch = shared_report_cache().implement_batch(
-        _planner_cost_model(), [config for _, config, _ in prepared]
+    powers, errors = _planner_cost_model().estimate_power_batch(
+        [config for _, config, _ in prepared]
     )
-    for (k, _, rejection), report in zip(prepared, batch.reports):
-        if report is None:  # out of the supported decimation range
+    for (k, _, rejection), power, error in zip(prepared, powers, errors):
+        if error is not None:  # out of the supported decimation range
             continue
         cic2, cic5, fir = splits[k]
         plans[k] = DecimationPlan(
-            cic2, cic5, fir, report.power_w, rejection
+            cic2, cic5, fir, float(power), rejection
         )
     return plans
 
@@ -119,13 +119,14 @@ def enumerate_plans(
 ) -> list[DecimationPlan]:
     """All valid plans for ``spec``, best (lowest cost) first.
 
-    The candidate splits are costed through the batched model layer
-    (one ``implement_batch`` pass per chunk, cached per process);
-    ``workers`` fans contiguous chunks out on a pool (``backend`` picks
-    threads or processes; see :mod:`repro.parallel` — the chunk
-    evaluator is a picklable task descriptor, not a closure).  The
-    result is identical to the serial sweep — candidates are generated
-    and kept in deterministic order and the final sort is stable.
+    The candidate splits are costed through the cost-only batch path
+    (one struct-of-arrays ``estimate_power_batch`` pass per chunk — no
+    per-split report objects); ``workers`` fans contiguous chunks out on
+    a pool (``backend`` picks threads or processes; see
+    :mod:`repro.parallel` — the chunk evaluator is a picklable task
+    descriptor, not a closure).  The result is identical to the serial
+    sweep — candidates are generated and kept in deterministic order and
+    the final sort is stable.
     """
     from ..parallel import parallel_map
 

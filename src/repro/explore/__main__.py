@@ -1,0 +1,245 @@
+"""CLI entry point: ``PYTHONPATH=src python -m repro.explore``.
+
+With no arguments it explores the reference space — the paper's DDC over
+an input-rate axis spanning both Cyclone f_max thresholds — adaptively
+and prints the JSON frontier report.  ``--store PATH`` warm-starts the
+report cache from (and spills it back to) an on-disk store so repeated
+explorations across processes skip re-running the models; ``--verify``
+runs the adaptive engine *and* the dense scalar oracle, requires their
+reports byte-identical, and reports the measured speedup and how few
+cells the adaptive engine actually evaluated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..core.evaluator import DDCEvaluator, ReportCache, shared_evaluator
+from ..errors import ConfigurationError, ReproError
+from .refine import run_explore
+from .report import FORMATS
+from .spec import ExploreSpec
+from .store import ReportStore
+
+
+def _parse_axis(text: str) -> tuple[str, float, float]:
+    """``field=lo:hi`` for the continuous axis."""
+    name, sep, raw = text.partition("=")
+    lo, sep2, hi = raw.partition(":")
+    if not sep or not sep2:
+        raise ConfigurationError(
+            f"--axis expects field=lo:hi, got {text!r}"
+        )
+    try:
+        return name.strip(), float(lo), float(hi)
+    except ValueError:
+        raise ConfigurationError(
+            f"axis bounds must be numbers, got {raw!r}"
+        ) from None
+
+
+def _parse_discrete(text: str) -> tuple[str, tuple]:
+    """``name=v1,v2,...`` — the sweep CLI's axis grammar, shared."""
+    from ..sweep.__main__ import _parse_axis as parse_value_axis
+
+    return parse_value_axis(text, flag="--discrete-axis")
+
+
+def build_spec(args: argparse.Namespace) -> ExploreSpec:
+    """Translate parsed CLI arguments into an ExploreSpec."""
+    kwargs: dict = {}
+    if args.axis:
+        kwargs["axis"] = _parse_axis(args.axis)
+    if args.architectures:
+        kwargs["architectures"] = tuple(
+            a.strip() for a in args.architectures.split(",") if a.strip()
+        )
+    if args.objectives:
+        kwargs["objectives"] = tuple(
+            o.strip() for o in args.objectives.split(",") if o.strip()
+        )
+    return ExploreSpec(
+        coarse_steps=args.coarse,
+        target_steps=args.target,
+        discrete_axes=tuple(
+            _parse_discrete(a) for a in args.discrete_axis
+        ),
+        duty_cycle_steps=args.steps,
+        standby_fraction=args.standby_fraction,
+        probe_points=args.probes,
+        seed=args.seed,
+        max_evaluations=args.budget,
+        **kwargs,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Design-space exploration: Pareto frontiers over "
+        "configuration axes with adaptive refinement.",
+    )
+    parser.add_argument(
+        "--axis", default=None, metavar="FIELD=LO:HI",
+        help="continuous refinement axis (default: input_rate_hz over "
+        "the reference space)",
+    )
+    parser.add_argument(
+        "--coarse", type=int, default=5,
+        help="initial coarse grid size (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--target", type=int, default=65,
+        help="target axis resolution; (target-1) must be (coarse-1)*2^k "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--discrete-axis", action="append", default=[],
+        metavar="FIELD=V1,V2,...",
+        help="add a discrete DDCConfig axis (repeatable)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=101,
+        help="duty-cycle grid size over [0, 1] (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--objectives", default=None, metavar="NAME,NAME,...",
+        help="Pareto objectives (default: power_w,area_mm2)",
+    )
+    parser.add_argument(
+        "--architectures", default=None, metavar="NAME,NAME,...",
+        help="restrict candidates to these architecture names",
+    )
+    parser.add_argument(
+        "--standby-fraction", type=float, default=0.05,
+        help="fixed-function idle power as a fraction of active power "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--probes", type=int, default=0,
+        help="extra seeded round-0 probe cells (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="probe-draw seed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None,
+        help="max evaluated cells per discrete point (default: none)",
+    )
+    parser.add_argument(
+        "--engine", choices=("adaptive", "dense"), default="adaptive",
+        help="evaluation path (dense = the scalar oracle grid; "
+        "default: %(default)s)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="on-disk report store: warm-start the report cache from it "
+        "and spill the cache (plus this frontier) back after the run",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="json",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--output", default="-", metavar="PATH",
+        help="report path, '-' = stdout (default: stdout)",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print the human-readable frontier map instead of the report",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run BOTH engines, require byte-identical reports, report "
+        "the measured speedup; exits 1 on any divergence",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spec = build_spec(args)
+        if args.store and (args.verify or args.engine != "adaptive"):
+            # Silently skipping persistence would strand the user's next
+            # warm start; say so instead.
+            raise ConfigurationError(
+                "--store needs the adaptive engine (the dense oracle and "
+                "--verify run deliberately uncached)"
+            )
+        if args.verify:
+            # Fresh caches/evaluators per engine so the comparison (and
+            # the timing) is cold-start honest on both sides; warm the
+            # import paths first so neither pays first-call costs.
+            warm = ExploreSpec(
+                axis=spec.axis, coarse_steps=2, target_steps=2,
+                duty_cycle_steps=2,
+            )
+            run_explore(warm, "adaptive", DDCEvaluator(cache=ReportCache()))
+            run_explore(warm, "dense", DDCEvaluator())
+            t0 = time.perf_counter()
+            adaptive = run_explore(
+                spec, "adaptive", DDCEvaluator(cache=ReportCache())
+            )
+            t_adaptive = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            dense = run_explore(spec, "dense", DDCEvaluator())
+            t_dense = time.perf_counter() - t0
+            adaptive_bytes = adaptive.render(args.format).encode()
+            dense_bytes = dense.render(args.format).encode()
+            if adaptive_bytes != dense_bytes:
+                print(
+                    "VERIFY FAILED: adaptive and dense-oracle frontier "
+                    "reports differ",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"verify OK: {len(adaptive_bytes)} bytes identical across "
+                f"engines ({spec.n_cells} cells at target resolution)"
+            )
+            print(
+                f"  adaptive evaluated {adaptive.evaluations}/"
+                f"{spec.n_cells} cells in {t_adaptive * 1e3:.2f} ms; "
+                f"dense oracle {dense.evaluations} cells in "
+                f"{t_dense * 1e3:.2f} ms; speedup "
+                f"{t_dense / t_adaptive:.1f}x"
+            )
+            return 0
+
+        store = ReportStore(args.store) if args.store else None
+        evaluator = None
+        if args.engine == "adaptive":
+            evaluator = shared_evaluator()
+            if store is not None:
+                loaded = store.load(evaluator.cache, evaluator.models)
+                print(
+                    f"store: warm-started {loaded} report(s) from "
+                    f"{args.store}",
+                    file=sys.stderr,
+                )
+        report = run_explore(spec, engine=args.engine, evaluator=evaluator)
+        if store is not None and evaluator is not None:
+            total = store.save(evaluator.cache)
+            store.save_frontier(
+                spec, evaluator.models, report.to_json_doc()
+            )
+            print(
+                f"store: spilled cache ({total} report(s)) and frontier "
+                f"to {args.store}",
+                file=sys.stderr,
+            )
+        if args.summary:
+            print(report.summary())
+        else:
+            report.write(args.output, args.format)
+            if args.output != "-":
+                print(f"wrote {args.output}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,195 @@
+"""Exact Pareto frontiers over architecture reports.
+
+Dominance is the standard strict-Pareto relation on minimised
+objectives: row ``i`` dominates row ``j`` when ``i`` is no worse on
+every objective and strictly better on at least one.  The frontier is
+the set of rows no eligible row dominates — duplicates survive together
+(neither dominates the other), and an architecture without a published
+value for an objective carries ``inf`` there (it can never win on that
+objective but is judged normally on the rest).
+
+Two computation paths exist and are **bit-identical**:
+
+- :func:`pareto_mask_scalar` — the double-loop oracle over python
+  floats, the seed-shaped reference;
+- :func:`pareto_mask` — one vectorised numpy broadcast over whole
+  ``(configs, architectures, objectives)`` stacks at once, which
+  :func:`frontier_from_batches` feeds straight from
+  :class:`~repro.archs.base.BatchImplementationReport` arrays.
+
+Both are pinned against each other — and against the frontier axioms
+(members are mutually non-dominated; every non-member has a dominating
+member witness) — by the Hypothesis suite in ``tests/test_explore.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..archs.base import BatchImplementationReport, ImplementationReport
+from ..errors import ConfigurationError
+from .spec import OBJECTIVES
+
+
+def objective_values(
+    report: ImplementationReport, objectives: Sequence[str]
+) -> tuple[float, ...]:
+    """One report's objective row (scalar path; ``None`` area -> inf)."""
+    row = []
+    for name in objectives:
+        if name not in OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {name!r}; choose from "
+                f"{', '.join(OBJECTIVES)}"
+            )
+        value = getattr(report, name)
+        row.append(math.inf if value is None else float(value))
+    return tuple(row)
+
+
+def pareto_mask_scalar(
+    rows: Sequence[Sequence[float]],
+    eligible: Sequence[bool] | None = None,
+) -> list[bool]:
+    """The double-loop dominance oracle.
+
+    ``rows[i][k]`` is candidate ``i``'s value on objective ``k`` (all
+    minimised); ``eligible`` masks candidates out of the competition
+    entirely (they neither join the frontier nor dominate anyone).
+    """
+    n = len(rows)
+    if eligible is None:
+        eligible = [True] * n
+    mask = []
+    for j in range(n):
+        if not eligible[j]:
+            mask.append(False)
+            continue
+        dominated = False
+        for i in range(n):
+            if i == j or not eligible[i]:
+                continue
+            all_le = all(
+                vi <= vj for vi, vj in zip(rows[i], rows[j])
+            )
+            any_lt = any(
+                vi < vj for vi, vj in zip(rows[i], rows[j])
+            )
+            if all_le and any_lt:
+                dominated = True
+                break
+        mask.append(not dominated)
+    return mask
+
+
+def pareto_mask(
+    values: np.ndarray, eligible: np.ndarray | None = None
+) -> np.ndarray:
+    """Vectorised non-dominance mask, batched over leading dimensions.
+
+    ``values`` has shape ``(..., n, m)`` — ``n`` candidates by ``m``
+    minimised objectives, with any number of leading batch dimensions
+    (the explorer passes the whole configuration axis at once).
+    ``eligible`` (shape ``(..., n)``) excludes candidates from the
+    competition.  Bit-identical to :func:`pareto_mask_scalar` applied
+    per leading index: the comparisons are the same IEEE-754 ``<=`` /
+    ``<`` on the same float64 values.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim < 2:
+        raise ConfigurationError(
+            "values must have shape (..., candidates, objectives)"
+        )
+    if eligible is None:
+        elig = np.ones(v.shape[:-1], dtype=bool)
+    else:
+        elig = np.asarray(eligible, dtype=bool)
+        if elig.shape != v.shape[:-1]:
+            raise ConfigurationError(
+                f"eligible shape {elig.shape} does not match candidates "
+                f"{v.shape[:-1]}"
+            )
+    # (..., i, j): does candidate i dominate candidate j?
+    le = (v[..., :, None, :] <= v[..., None, :, :]).all(axis=-1)
+    lt = (v[..., :, None, :] < v[..., None, :, :]).any(axis=-1)
+    dominates = le & lt & elig[..., :, None]
+    dominated = (dominates & elig[..., None, :]).any(axis=-2)
+    return elig & ~dominated
+
+
+def frontier_from_batches(
+    batches: Sequence[BatchImplementationReport],
+    objectives: Sequence[str],
+    wanted: set[str] | None = None,
+) -> np.ndarray:
+    """Per-configuration frontier masks straight from model batches.
+
+    ``batches`` is one :class:`~repro.archs.base.BatchImplementationReport`
+    per model over a shared configuration axis (model order preserved);
+    the result is a boolean ``(n_configs, n_models)`` array marking the
+    non-dominated architectures of every configuration in one
+    :func:`pareto_mask` broadcast.  Eligibility per (config, model) is
+    mappable and feasible — and, when ``wanted`` is given, named in it —
+    mirroring the scenario-candidate build exactly.
+    """
+    if not batches:
+        raise ConfigurationError("need at least one model batch")
+    n_configs = len(batches[0])
+    if any(len(b) != n_configs for b in batches):
+        raise ConfigurationError("model batches must share one axis")
+    columns = []
+    for name in objectives:
+        if name not in OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {name!r}; choose from "
+                f"{', '.join(OBJECTIVES)}"
+            )
+        if name == "energy_per_output_sample_j":
+            per_model = [b.power_w / 24_000.0 for b in batches]
+        else:
+            attr = {
+                "power_w": "power_w",
+                "area_mm2": "area_mm2",
+                "clock_hz": "clock_hz",
+            }[name]
+            per_model = [getattr(b, attr) for b in batches]
+        columns.append(np.stack(per_model, axis=-1))
+    # (n_configs, n_models, n_objectives); unmappable entries are nan and
+    # a missing area is nan too — both stand in as inf, exactly like the
+    # scalar ``None -> inf`` rule (ineligible rows are masked anyway).
+    values = np.stack(columns, axis=-1)
+    values = np.where(np.isnan(values), np.inf, values)
+    eligible = np.stack(
+        [b.mappable & b.feasible for b in batches], axis=-1
+    )
+    if wanted is not None:
+        in_subset = np.array(
+            [b.architecture in wanted for b in batches], dtype=bool
+        )
+        eligible = eligible & in_subset[None, :]
+    return pareto_mask(values, eligible)
+
+
+def frontier_scalar(
+    reports: Sequence[ImplementationReport | None],
+    objectives: Sequence[str],
+    wanted: set[str] | None = None,
+) -> list[bool]:
+    """Scalar-oracle twin of :func:`frontier_from_batches` for one
+    configuration's per-model reports (``None`` = unmappable)."""
+    rows = []
+    eligible = []
+    for report in reports:
+        if report is None:
+            rows.append(tuple(math.inf for _ in objectives))
+            eligible.append(False)
+            continue
+        rows.append(objective_values(report, objectives))
+        ok = report.feasible
+        if wanted is not None:
+            ok = ok and report.architecture in wanted
+        eligible.append(ok)
+    return pareto_mask_scalar(rows, eligible)

@@ -1,0 +1,414 @@
+"""Adaptive refinement and the dense scalar oracle.
+
+Both engines answer the same question at the same resolution: for every
+cell of the search space (discrete point x target-grid axis value), the
+feasible scenario candidates, the Pareto frontier over the spec's
+objectives, and the duty-cycle winner map.
+
+- ``engine="dense"`` — the **scalar oracle**: every cell evaluated
+  through the seed-shaped scalar paths (per-model scalar ``implement``,
+  one :meth:`~repro.energy.scenarios.ScenarioAnalysis.evaluate` call per
+  duty step, the double-loop Pareto oracle).
+- ``engine="adaptive"`` — the coarse grid (plus any seeded probes) is
+  evaluated first, then only cells whose *outcome signature* (candidate
+  set, frontier membership, duty winner map) differs between adjacent
+  evaluated neighbours are bisected, round by round, until every
+  signature change is pinned to adjacent target indices.  Unevaluated
+  cells inherit the outcome their surrounding neighbours agree on.
+  Every round is **one batched model pass**: all newly requested cells
+  across every discrete point go through
+  :meth:`~repro.core.evaluator.DDCEvaluator.report_batches` /
+  ``scenario_candidates_batch`` together, and the frontier masks come
+  from one vectorised dominance broadcast over the batch arrays.
+
+On spaces whose outcomes flip at most once between adjacent coarse
+points — which holds for the monotone feasibility/power structure of the
+paper's models along the rate axes — the two engines are byte-identical;
+``python -m repro.explore --verify`` proves it on the reference space
+and the Hypothesis suite pins it on random small spaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..config import DDCConfig
+from ..core.evaluator import DDCEvaluator, shared_evaluator
+from ..energy.scenarios import ScenarioAnalysis
+from ..errors import ConfigurationError, MappingError
+from ..sweep.engine import (
+    duty_cycle_grid,
+    scalar_winner_regions,
+    select_candidates,
+)
+from .pareto import frontier_from_batches, frontier_scalar
+from .spec import ExploreSpec
+
+#: Engines accepted by :func:`run_explore`.
+ENGINES = ("adaptive", "dense")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """The discrete outcome of one search-space cell (JSON-ready).
+
+    Everything here is *fillable*: a cell whose evaluated neighbours
+    agree carries exactly their outcome, so adaptive and dense reports
+    coincide wherever the signature really is constant.  Numeric
+    per-cell data (objective values) lives in the coarse-grid
+    :class:`CellSnapshot` instead — both engines evaluate those cells,
+    so the numbers are present in both reports, bit for bit.
+    """
+
+    index: int
+    value: float
+    candidates: tuple[str, ...]
+    frontier: tuple[str, ...]
+    winners: tuple[str, ...]
+    winning_regions: tuple[tuple[float, float, str], ...]
+
+    @property
+    def static_winner(self) -> str:
+        """Winner at duty cycle 1.0 (the grid's last step)."""
+        return self.winners[-1]
+
+    def signature(self) -> tuple:
+        """What refinement compares across a cell boundary."""
+        return (self.candidates, self.frontier, self.winners)
+
+    def at(self, index: int, value: float) -> "CellOutcome":
+        """This outcome re-addressed to a neighbouring cell (the fill)."""
+        return dataclasses.replace(self, index=index, value=value)
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "value": self.value,
+            "candidates": list(self.candidates),
+            "frontier": list(self.frontier),
+            "static_winner": self.static_winner,
+            "winning_regions": [list(r) for r in self.winning_regions],
+        }
+
+
+@dataclass(frozen=True)
+class ArchSnapshot:
+    """One architecture's numbers at a snapshot cell."""
+
+    name: str
+    mappable: bool
+    feasible: bool
+    on_frontier: bool
+    objectives: tuple[float | None, ...]
+
+    def to_json(self, objective_names: Sequence[str]) -> dict:
+        return {
+            "name": self.name,
+            "mappable": self.mappable,
+            "feasible": self.feasible,
+            "on_frontier": self.on_frontier,
+            "objectives": dict(zip(objective_names, self.objectives)),
+        }
+
+
+@dataclass(frozen=True)
+class CellSnapshot:
+    """Objective values of every architecture at one coarse-grid cell."""
+
+    index: int
+    value: float
+    architectures: tuple[ArchSnapshot, ...]
+
+    def to_json(self, objective_names: Sequence[str]) -> dict:
+        return {
+            "index": self.index,
+            "value": self.value,
+            "architectures": [
+                a.to_json(objective_names) for a in self.architectures
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class PointExploration:
+    """All cells of one discrete point, in target-grid order."""
+
+    index: int
+    label: str
+    overrides: tuple[tuple[str, Any], ...]
+    cells: tuple[CellOutcome, ...]
+    snapshots: tuple[CellSnapshot, ...]
+
+    def frontier_intervals(
+        self, spec: ExploreSpec
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Per-architecture axis intervals of frontier membership.
+
+        Contiguous runs of cells whose frontier contains the
+        architecture, as closed ``[value, value]`` spans — the compact
+        summary the CLI prints and the JSON report carries.
+        """
+        names: list[str] = []
+        for cell in self.cells:
+            for name in cell.frontier:
+                if name not in names:
+                    names.append(name)
+        out: dict[str, list[tuple[float, float]]] = {n: [] for n in names}
+        for name in names:
+            start: int | None = None
+            for cell in self.cells:
+                member = name in cell.frontier
+                if member and start is None:
+                    start = cell.index
+                elif not member and start is not None:
+                    out[name].append(
+                        (spec.value_at(start), spec.value_at(cell.index - 1))
+                    )
+                    start = None
+            if start is not None:
+                out[name].append(
+                    (spec.value_at(start), spec.value_at(self.cells[-1].index))
+                )
+        return out
+
+
+_CellData = tuple[CellOutcome, CellSnapshot]
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown explore engine {engine!r}; expected one of {ENGINES}"
+        )
+
+
+# ------------------------------------------------------------ batched cells
+def _evaluate_cells_batch(
+    evaluator: DDCEvaluator,
+    spec: ExploreSpec,
+    indices: Sequence[int],
+    configs: Sequence[DDCConfig],
+) -> list[_CellData]:
+    """Evaluate a round of cells in one batched model pass."""
+    batches = evaluator.report_batches(configs)
+    candidate_lists = evaluator.scenario_candidates_from_batches(
+        batches, configs, spec.standby_fraction, strict=False
+    )
+    wanted = set(spec.architectures) if spec.architectures else None
+    masks = frontier_from_batches(batches, spec.objectives, wanted)
+    labels = [b.architecture for b in batches]
+    out: list[_CellData] = []
+    for i, index in enumerate(indices):
+        value = spec.value_at(index)
+        selected = select_candidates(candidate_lists[i], spec.architectures)
+        analysis = ScenarioAnalysis(selected)
+        grid = duty_cycle_grid(analysis, spec.duty_cycle_steps)
+        outcome = CellOutcome(
+            index=index,
+            value=value,
+            candidates=tuple(c.name for c in selected),
+            frontier=tuple(
+                labels[j] for j in range(len(labels)) if masks[i, j]
+            ),
+            winners=tuple(grid.winners()),
+            winning_regions=tuple(grid.winning_regions()),
+        )
+        archs = tuple(
+            ArchSnapshot(
+                name=labels[j],
+                mappable=bool(batches[j].mappable[i]),
+                feasible=bool(batches[j].feasible[i]),
+                on_frontier=bool(masks[i, j]),
+                objectives=_snapshot_objectives(
+                    batches[j].reports[i], spec.objectives
+                ),
+            )
+            for j in range(len(labels))
+        )
+        out.append((outcome, CellSnapshot(index, value, archs)))
+    return out
+
+
+def _snapshot_objectives(report, objectives) -> tuple[float | None, ...]:
+    """Raw objective values for a snapshot (None where unpublished or
+    unmappable) — shared verbatim by both engines."""
+    if report is None:
+        return tuple(None for _ in objectives)
+    return tuple(
+        None if (v := getattr(report, name)) is None else float(v)
+        for name in objectives
+    )
+
+
+# ------------------------------------------------------------- scalar cells
+def _evaluate_cell_scalar(
+    models,
+    labels: Sequence[str],
+    spec: ExploreSpec,
+    index: int,
+    config: DDCConfig,
+) -> _CellData:
+    """One cell through the seed-shaped scalar paths (the oracle)."""
+    reports = []
+    for model in models:
+        try:
+            reports.append(model.implement(config))
+        except (ConfigurationError, MappingError):
+            reports.append(None)
+    candidates = [
+        DDCEvaluator._candidate(r, spec.standby_fraction)
+        for r in reports
+        if r is not None and r.feasible
+    ]
+    candidates = DDCEvaluator._require_candidates(candidates, config)
+    selected = select_candidates(candidates, spec.architectures)
+    analysis = ScenarioAnalysis(selected)
+    steps = spec.duty_cycle_steps
+    results = [analysis.evaluate(i / (steps - 1)) for i in range(steps)]
+    wanted = set(spec.architectures) if spec.architectures else None
+    mask = frontier_scalar(reports, spec.objectives, wanted)
+    value = spec.value_at(index)
+    outcome = CellOutcome(
+        index=index,
+        value=value,
+        candidates=tuple(c.name for c in selected),
+        frontier=tuple(
+            labels[j] for j in range(len(labels)) if mask[j]
+        ),
+        winners=tuple(r.winner for r in results),
+        winning_regions=tuple(
+            scalar_winner_regions(
+                [r.winner for r in results],
+                [r.duty_cycle for r in results],
+            )
+        ),
+    )
+    archs = tuple(
+        ArchSnapshot(
+            name=labels[j],
+            mappable=reports[j] is not None,
+            feasible=reports[j] is not None and reports[j].feasible,
+            on_frontier=bool(mask[j]),
+            objectives=_snapshot_objectives(reports[j], spec.objectives),
+        )
+        for j in range(len(labels))
+    )
+    return outcome, CellSnapshot(index, value, archs)
+
+
+# ------------------------------------------------------------------ engines
+def run_explore(
+    spec: ExploreSpec,
+    engine: str = "adaptive",
+    evaluator: DDCEvaluator | None = None,
+):
+    """Explore the space; returns a :class:`~repro.explore.report.ExploreReport`.
+
+    ``engine="adaptive"`` defaults to the per-process
+    :func:`~repro.core.evaluator.shared_evaluator` (so repeated
+    explorations — and a store-warmed report cache — amortise model
+    work); ``engine="dense"`` defaults to a fresh uncached
+    :class:`~repro.core.evaluator.DDCEvaluator` running the scalar
+    oracle end to end.
+    """
+    from .report import ExploreReport
+
+    _check_engine(engine)
+    points = spec.points()
+    if engine == "dense":
+        ev = evaluator if evaluator is not None else DDCEvaluator()
+        # The per-model batch-report labels (a per-model constant, also
+        # used for models that map nothing anywhere).
+        labels = [m.implement_batch([]).architecture for m in ev.models]
+        coarse_set = set(spec.coarse_indices())
+        results = []
+        evaluations = 0
+        for point in points:
+            cells = []
+            snapshots = []
+            for index in range(spec.target_steps):
+                outcome, snapshot = _evaluate_cell_scalar(
+                    ev.models, labels, spec, index,
+                    spec.config_at(point, index),
+                )
+                evaluations += 1
+                cells.append(outcome)
+                if index in coarse_set:
+                    snapshots.append(snapshot)
+            results.append(
+                PointExploration(
+                    point.index, point.label(), point.overrides,
+                    tuple(cells), tuple(snapshots),
+                )
+            )
+        return ExploreReport(spec, results, evaluations)
+
+    ev = evaluator if evaluator is not None else shared_evaluator()
+    evaluated: list[dict[int, _CellData]] = [{} for _ in points]
+    counts = [0] * len(points)
+    initial = sorted(set(spec.coarse_indices()) | set(spec.probe_indices()))
+    pending: list[tuple[int, int]] = [
+        (p, index) for p in range(len(points)) for index in initial
+    ]
+    evaluations = 0
+    while pending:
+        configs = [
+            spec.config_at(points[p], index) for p, index in pending
+        ]
+        data = _evaluate_cells_batch(
+            ev, spec, [index for _, index in pending], configs
+        )
+        for (p, index), cell in zip(pending, data):
+            evaluated[p][index] = cell
+            counts[p] += 1
+        evaluations += len(pending)
+        pending = []
+        for p in range(len(points)):
+            budget = spec.max_evaluations
+            room = (
+                None if budget is None else max(0, budget - counts[p])
+            )
+            indices = sorted(evaluated[p])
+            queued = 0
+            for a, b in zip(indices, indices[1:]):
+                if b - a <= 1:
+                    continue
+                sig_a = evaluated[p][a][0].signature()
+                sig_b = evaluated[p][b][0].signature()
+                if sig_a == sig_b:
+                    continue
+                if room is not None and queued >= room:
+                    break
+                pending.append((p, (a + b) // 2))
+                queued += 1
+
+    coarse = spec.coarse_indices()
+    results = []
+    for p, point in enumerate(points):
+        cells: list[CellOutcome] = []
+        indices = sorted(evaluated[p])
+        cursor = 0
+        for index in range(spec.target_steps):
+            if index in evaluated[p]:
+                cells.append(evaluated[p][index][0])
+                continue
+            while indices[cursor + 1] < index:
+                cursor += 1
+            a, b = indices[cursor], indices[cursor + 1]
+            out_a = evaluated[p][a][0]
+            out_b = evaluated[p][b][0]
+            if out_a.signature() == out_b.signature():
+                source = out_a
+            else:  # budget exhausted mid-refinement: nearest neighbour
+                source = out_a if index - a <= b - index else out_b
+            cells.append(source.at(index, spec.value_at(index)))
+        results.append(
+            PointExploration(
+                point.index, point.label(), point.overrides,
+                tuple(cells),
+                tuple(evaluated[p][k][1] for k in coarse),
+            )
+        )
+    return ExploreReport(spec, results, evaluations)

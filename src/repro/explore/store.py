@@ -1,0 +1,311 @@
+"""Persistent on-disk report store: the ReportCache spill.
+
+A :class:`ReportStore` is one JSONL file (schema
+``repro-explore-store/v1``): a header line followed by self-contained
+records —
+
+- ``label`` records: the batch-report architecture label of one model;
+- ``report`` records: one ``(model, configuration)`` implement outcome —
+  the full :class:`~repro.archs.base.ImplementationReport` field set, or
+  the cached :class:`~repro.errors.ConfigurationError` /
+  :class:`~repro.errors.MappingError` (type + message);
+- ``frontier`` records: one exploration's rendered report document,
+  keyed by the digest of its search space.
+
+**Content-hashed invalidation**: models are identified by the SHA-256
+digest of ``repr(model.cache_key())`` and configurations by their
+:func:`~repro.core.evaluator.config_cache_key` field values verbatim.
+Change a model constant (which the cache-key contract requires to change
+``cache_key()``) and its stored entries simply stop matching — they are
+retained in the file but never loaded, and the next :meth:`save`
+rewrites the store with the new digests alongside.  Frontier snapshots
+key on the spec *and* the full model set, so a model tweak invalidates
+them too.
+
+Round-trip exactness: floats serialise through :mod:`json` at
+``repr`` precision (shortest round-trip), so a loaded report equals the
+computed one field for field and a warm-started exploration reproduces
+cold-run output byte for byte — asserted, together with the >= 90 %
+hit-rate warm-start contract, in ``tests/test_explore.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from ..archs.base import (
+    ArchitectureModel,
+    Flexibility,
+    ImplementationReport,
+)
+from ..core.evaluator import ReportCache
+from ..energy.technology import TechnologyNode
+from ..errors import ConfigurationError, MappingError
+from .spec import ExploreSpec
+
+SCHEMA = "repro-explore-store/v1"
+
+#: The exception types the ReportCache contract allows in entries.
+_ERROR_TYPES = {
+    "ConfigurationError": ConfigurationError,
+    "MappingError": MappingError,
+}
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def model_digest(model_key: tuple) -> str:
+    """Content hash of one model identity (its ``cache_key()`` repr)."""
+    return _digest(repr(model_key))
+
+
+def space_digest(
+    spec: ExploreSpec, models: Sequence[ArchitectureModel]
+) -> str:
+    """Content hash of one search space: the spec plus every model."""
+    keys = tuple(model_digest(m.cache_key()) for m in models)
+    return _digest(repr((spec, keys)))
+
+
+def _report_to_json(report: ImplementationReport) -> dict:
+    return {
+        "architecture": report.architecture,
+        "technology": {
+            "feature_um": report.technology.feature_um,
+            "vdd": report.technology.vdd,
+            "label": report.technology.label,
+        },
+        "clock_hz": report.clock_hz,
+        "power_w": report.power_w,
+        "area_mm2": report.area_mm2,
+        "flexibility": int(report.flexibility),
+        "feasible": report.feasible,
+        "notes": report.notes,
+    }
+
+
+def _report_from_json(doc: dict) -> ImplementationReport:
+    tech = doc["technology"]
+    return ImplementationReport(
+        architecture=doc["architecture"],
+        technology=TechnologyNode(
+            feature_um=tech["feature_um"],
+            vdd=tech["vdd"],
+            label=tech["label"],
+        ),
+        clock_hz=doc["clock_hz"],
+        power_w=doc["power_w"],
+        area_mm2=doc["area_mm2"],
+        flexibility=Flexibility(doc["flexibility"]),
+        feasible=doc["feasible"],
+        notes=doc["notes"],
+    )
+
+
+class ReportStore:
+    """Content-hashed JSONL spill of a :class:`ReportCache` plus frontiers.
+
+    The store is engine-agnostic persistence: :meth:`load` warm-starts a
+    cache with every record produced by a model whose content digest
+    still matches, :meth:`save` rewrites the file as the union of what
+    it already held and the cache's current entries, and frontier
+    documents ride alongside keyed by :func:`space_digest`.
+
+    Writes are **atomic** (temp file + ``os.replace``), so a reader — or
+    a crash — never sees a torn file.  Concurrent writers are
+    last-merge-wins: each rewrites its own union of what it last read,
+    which converges for disjoint model sets but offers no cross-process
+    locking; serialise explorations that must share one store file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------ raw file
+    def _read_records(self) -> tuple[dict, dict, dict]:
+        """(labels, reports, frontiers) keyed for dedup; tolerates a
+        missing file, rejects a foreign schema or undecodable content."""
+        labels: dict[str, str] = {}
+        reports: dict[tuple[str, str], dict] = {}
+        frontiers: dict[str, dict] = {}
+        if not self.path.exists():
+            return labels, reports, frontiers
+        try:
+            with self.path.open() as fh:
+                header = fh.readline()
+                if not header.strip():
+                    return labels, reports, frontiers
+                head = json.loads(header)
+                if head.get("schema") != SCHEMA:
+                    raise ConfigurationError(
+                        f"{self.path}: unknown store schema "
+                        f"{head.get('schema')!r}"
+                    )
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    record = json.loads(line)
+                    kind = record.get("kind")
+                    if kind == "label":
+                        labels[record["model"]] = record["architecture"]
+                    elif kind == "report":
+                        key = (
+                            record["model"], json.dumps(record["config"])
+                        )
+                        reports[key] = record
+                    elif kind == "frontier":
+                        frontiers[record["space"]] = record["doc"]
+        except (
+            json.JSONDecodeError, AttributeError, KeyError, TypeError
+        ) as exc:
+            raise ConfigurationError(
+                f"{self.path}: corrupt store record ({exc})"
+            ) from exc
+        return labels, reports, frontiers
+
+    def _write_records(
+        self, labels: dict, reports: dict, frontiers: dict
+    ) -> None:
+        lines = [json.dumps({"schema": SCHEMA})]
+        for digest in sorted(labels):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "label",
+                        "model": digest,
+                        "architecture": labels[digest],
+                    },
+                    sort_keys=True,
+                )
+            )
+        for key in sorted(reports):
+            lines.append(json.dumps(reports[key], sort_keys=True))
+        for digest in sorted(frontiers):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "frontier",
+                        "space": digest,
+                        "doc": frontiers[digest],
+                    },
+                    sort_keys=True,
+                )
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic replace: a concurrent reader (or a crash mid-write)
+        # sees either the old complete file or the new one, never a
+        # torn mix.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write("\n".join(lines) + "\n")
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------- reports
+    def load(
+        self, cache: ReportCache, models: Sequence[ArchitectureModel]
+    ) -> int:
+        """Warm-start ``cache`` with every record of the given models.
+
+        Returns the number of report entries inserted.  Records whose
+        model digest matches none of ``models`` — stale content, or
+        another process's model set — are left untouched on disk and
+        simply not loaded.
+        """
+        labels, reports, _ = self._read_records()
+        by_digest = {
+            model_digest(m.cache_key()): m.cache_key() for m in models
+        }
+        for digest, label in labels.items():
+            key = by_digest.get(digest)
+            if key is not None:
+                cache.insert_architecture(key, label)
+        loaded = 0
+        for record in reports.values():
+            key = by_digest.get(record["model"])
+            if key is None:
+                continue
+            config_key = tuple(record["config"])
+            if "report" in record:
+                cache.insert(
+                    key, config_key, _report_from_json(record["report"]),
+                    None,
+                )
+            else:
+                error_type = _ERROR_TYPES.get(record["error"]["type"])
+                if error_type is None:
+                    continue
+                cache.insert(
+                    key, config_key, None,
+                    error_type(record["error"]["message"]),
+                )
+            loaded += 1
+        return loaded
+
+    def save(self, cache: ReportCache) -> int:
+        """Spill every cache entry; returns the total records on disk.
+
+        Rewrites the file as the union of its previous records and the
+        cache's current entries (cache wins on conflict); entries whose
+        error type falls outside the cache contract are skipped.
+        """
+        labels, reports, frontiers = self._read_records()
+        for model_key, label in cache.architecture_labels().items():
+            labels[model_digest(model_key)] = label
+        for model_key, config_key, report, error in cache.entries():
+            digest = model_digest(model_key)
+            config_list = list(config_key)
+            record: dict = {
+                "kind": "report",
+                "model": digest,
+                "config": config_list,
+            }
+            if report is not None:
+                record["report"] = _report_to_json(report)
+            else:
+                type_name = type(error).__name__
+                if type_name not in _ERROR_TYPES:
+                    continue
+                record["error"] = {
+                    "type": type_name,
+                    "message": str(error),
+                }
+            reports[(digest, json.dumps(config_list))] = record
+        self._write_records(labels, reports, frontiers)
+        return len(reports)
+
+    # ----------------------------------------------------------- frontiers
+    def save_frontier(
+        self,
+        spec: ExploreSpec,
+        models: Sequence[ArchitectureModel],
+        doc: dict,
+    ) -> str:
+        """Record one exploration's report document; returns its digest."""
+        labels, reports, frontiers = self._read_records()
+        digest = space_digest(spec, models)
+        frontiers[digest] = doc
+        self._write_records(labels, reports, frontiers)
+        return digest
+
+    def load_frontier(
+        self, spec: ExploreSpec, models: Sequence[ArchitectureModel]
+    ) -> dict | None:
+        """The stored report document for this exact space, if any."""
+        _, _, frontiers = self._read_records()
+        return frontiers.get(space_digest(spec, models))

@@ -24,6 +24,7 @@ from .figures import (
     figure8,
     figure9,
     figure_duty_cycle,
+    figure_pareto,
 )
 from .scenarios import section7_scenarios
 
@@ -43,5 +44,6 @@ __all__ = [
     "figure8",
     "figure9",
     "figure_duty_cycle",
+    "figure_pareto",
     "section7_scenarios",
 ]

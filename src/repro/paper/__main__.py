@@ -24,6 +24,7 @@ from . import (
     figure8,
     figure9,
     figure_duty_cycle,
+    figure_pareto,
     section7_scenarios,
     table1,
     table2,
@@ -57,6 +58,7 @@ FIGURES = {
     "figure8": figure8,
     "figure9": figure9,
     "figure_duty_cycle": figure_duty_cycle,
+    "figure_pareto": figure_pareto,
 }
 
 

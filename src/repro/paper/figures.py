@@ -135,6 +135,61 @@ def figure_duty_cycle(
     )
 
 
+def figure_pareto(
+    config: DDCConfig = REFERENCE_DDC, steps: int = 101
+) -> FigureResult:
+    """Duty-cycle/energy frontier per architecture (executable: repro.explore).
+
+    Not a numbered figure in the paper — its conclusion weighs power
+    against reconfigurable-area reuse in prose — but the natural Pareto
+    view of that argument: per architecture, the energy attributable to
+    one output sample across DDC duty cycles, with the Section 7 winner
+    regions and the (power, area) Pareto frontier of the implementation
+    reports.  Rendered from one batched pass of the model layer through
+    the per-process shared evaluator; the payload is the
+    ``(candidates, frontier mask, scenario grid)`` triple.
+    """
+    from ..core.evaluator import shared_evaluator
+    from ..explore.pareto import frontier_from_batches
+    from ..sweep import duty_cycle_grid
+
+    evaluator = shared_evaluator()
+    batches = evaluator.report_batches([config])
+    candidates = evaluator.scenario_candidates_from_batches(
+        batches, [config], strict=False
+    )[0]
+    mask = frontier_from_batches(batches, ("power_w", "area_mm2"))[0]
+    frontier = {
+        batches[j].architecture for j in range(len(batches)) if mask[j]
+    }
+    from ..energy.scenarios import ScenarioAnalysis
+
+    analysis = ScenarioAnalysis(candidates)
+    grid = duty_cycle_grid(analysis, steps)
+    lines = ["energy per 24 kHz output sample (nJ) by DDC duty cycle:"]
+    marks = (0.05, 0.25, 0.50, 1.00)
+    header = "  architecture" + " " * 16 + "".join(
+        f"{m:>9.0%}" for m in marks
+    )
+    lines.append(header)
+    for j, name in enumerate(grid.names):
+        cells = []
+        for m in marks:
+            k = round(m * (steps - 1))
+            cells.append(f"{grid.powers_w[k, j] / 24_000.0 * 1e9:9.2f}")
+        tag = " *" if name in frontier else ""
+        lines.append(f"  {name:<28}" + "".join(cells) + tag)
+    lines.append("  (* = on the (power, area) Pareto frontier)")
+    lines.append("cheapest architecture by duty cycle:")
+    for lo, hi, name in grid.winning_regions():
+        lines.append(f"  {lo:6.1%} .. {hi:6.1%}  {name}")
+    return FigureResult(
+        "Figure S8: duty-cycle/energy Pareto frontier per architecture",
+        "\n".join(lines),
+        (candidates, mask, grid),
+    )
+
+
 def figure9(cycles: int = 40) -> FigureResult:
     """Fig. 9: the first 40 clock cycles of the Montium DDC schedule."""
     from ..archs.montium.ddc_mapping import build_ddc_schedule

@@ -1,10 +1,10 @@
 """Deterministic parallel mapping for sweep workloads.
 
 The Table 5 power sweep, the decimation-plan enumeration, the scenario
-sweeps of :mod:`repro.sweep` and the ablation benches are embarrassingly
-parallel: independent evaluations of a pure function over a parameter
-grid.  :func:`parallel_map` gives them a shared ``workers=`` knob with two
-backends:
+sweeps of :mod:`repro.sweep` and the design-space explorations of
+:mod:`repro.explore` are embarrassingly parallel: independent evaluations
+of a pure function over a parameter grid.  :func:`parallel_map` gives
+them a shared ``workers=`` knob with two backends:
 
 - ``backend="thread"`` (default) — a
   :class:`concurrent.futures.ThreadPoolExecutor`.  Right when the sweep
@@ -20,22 +20,39 @@ backends:
   the worker — see :func:`repro.sweep.engine.evaluate_point` and the
   planner's split evaluator for the idiom.
 
-Guarantees, identical for both backends:
+**Persistent pools**: executors are kept alive in a per-process registry
+keyed on ``(backend, workers)`` and reused by every subsequent
+:func:`parallel_map` with the same knobs, so repeated ``run_sweep`` /
+``run_explore`` rounds pay process spawn-up (and each worker's lazily
+rebuilt models and per-process report cache) once instead of per call.
+:func:`shutdown` tears every pool down explicitly; an ``atexit`` hook
+does the same at interpreter exit, and a pool whose workers died
+(``BrokenExecutor``) is evicted so the next call starts a fresh one.
+
+Guarantees, identical for both backends and unchanged by pool reuse:
 
 - **Deterministic ordering** — results come back in input order
   (``Executor.map`` semantics), so a parallel sweep is byte-identical to
   the serial one regardless of completion order;
 - ``workers=None``, ``0`` or ``1`` runs serially in the caller's thread
-  (no executor, no pool overhead) — the default everywhere, so
-  parallelism is opt-in; negative worker counts are a configuration
-  error, not a silent serial fallback;
+  (no executor, no pool) — the default everywhere, so parallelism is
+  opt-in; negative worker counts are a configuration error, not a silent
+  serial fallback;
 - exceptions propagate exactly as in the serial case (the first failing
-  item raises when its result is consumed, in input order).
+  item raises when its result is consumed, in input order); a plain task
+  exception leaves the pool alive and reusable.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import atexit
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from .errors import ConfigurationError
@@ -46,6 +63,62 @@ R = TypeVar("R")
 #: Executor backends accepted by :func:`parallel_map`.
 BACKENDS = ("thread", "process")
 
+#: Live executors, keyed on ``(backend, workers)`` — the persistent pool
+#: registry :func:`get_pool` serves and :func:`shutdown` clears.
+_POOLS: dict[tuple[str, int], Executor] = {}
+
+#: Guards registry mutation: without it two threads racing the first
+#: call for one key would each build an executor and leak the loser
+#: beyond :func:`shutdown`'s reach.
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(backend: str, workers: int) -> Executor:
+    """The shared executor for ``(backend, workers)``, created on first use.
+
+    Pools are sized to the *requested* worker count (executors spawn
+    workers lazily, so asking a wide pool to serve a narrow batch costs
+    nothing) and live until :func:`shutdown` or interpreter exit.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown parallel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if workers < 1:
+        raise ConfigurationError(
+            f"a pool needs workers >= 1, got {workers}"
+        )
+    key = (backend, workers)
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            if backend == "process":
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                pool = ThreadPoolExecutor(max_workers=workers)
+            _POOLS[key] = pool
+        return pool
+
+
+def shutdown(wait: bool = True) -> int:
+    """Tear down every persistent pool; returns how many were closed.
+
+    Safe to call at any time — the next :func:`parallel_map` that needs a
+    pool simply builds a fresh one.  Registered with :mod:`atexit` so
+    leftover process pools never outlive the interpreter.
+    """
+    closed = 0
+    while True:
+        with _POOLS_LOCK:
+            if not _POOLS:
+                return closed
+            _, pool = _POOLS.popitem()
+        pool.shutdown(wait=wait)
+        closed += 1
+
+
+atexit.register(shutdown)
+
 
 def parallel_map(
     fn: Callable[[T], R],
@@ -53,13 +126,15 @@ def parallel_map(
     workers: int | None = None,
     backend: str = "thread",
 ) -> list[R]:
-    """``[fn(x) for x in items]`` with an optional executor pool.
+    """``[fn(x) for x in items]`` with an optional persistent executor pool.
 
-    ``workers`` is clamped to the number of items; values of ``None``,
-    ``0`` or ``1`` run serially and negative values raise
-    :class:`~repro.errors.ConfigurationError`.  ``backend`` selects the
-    pool type (``"thread"`` or ``"process"``); with ``"process"`` both
-    ``fn`` and the items must be picklable (see the module docstring).
+    ``workers`` values of ``None``, ``0`` or ``1`` run serially and
+    negative values raise :class:`~repro.errors.ConfigurationError`.
+    ``backend`` selects the pool type (``"thread"`` or ``"process"``);
+    with ``"process"`` both ``fn`` and the items must be picklable (see
+    the module docstring).  The executor comes from the per-process
+    registry (:func:`get_pool`) and stays alive for the next call with
+    the same knobs.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
@@ -74,12 +149,23 @@ def parallel_map(
         return []
     if not workers or workers <= 1 or len(seq) == 1:
         return [fn(x) for x in seq]
-    n_workers = min(workers, len(seq))
-    if backend == "process":
-        # Chunking amortises the per-task pickle round-trip; Executor.map
-        # reassembles chunk results in input order so determinism holds.
-        chunksize = max(1, len(seq) // (n_workers * 4))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+    pool = get_pool(backend, workers)
+    try:
+        if backend == "process":
+            # Chunking amortises the per-task pickle round-trip; the
+            # chunk size is a pure function of the request (not of pool
+            # state), and Executor.map reassembles chunk results in
+            # input order so determinism holds.
+            n_workers = min(workers, len(seq))
+            chunksize = max(1, len(seq) // (n_workers * 4))
             return list(pool.map(fn, seq, chunksize=chunksize))
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
         return list(pool.map(fn, seq))
+    except BrokenExecutor:
+        # Workers died (e.g. killed mid-task): shut the carcass down and
+        # evict it so the next call rebuilds a healthy pool, then
+        # surface the failure.
+        with _POOLS_LOCK:
+            evicted = _POOLS.pop((backend, workers), None)
+        if evicted is not None:
+            evicted.shutdown(wait=False)
+        raise

@@ -20,12 +20,16 @@ from .report import FORMATS
 from .spec import SweepSpec
 
 
-def _parse_axis(text: str) -> tuple[str, tuple]:
-    """``name=v1,v2,...`` with int-then-float value coercion."""
+def _parse_axis(text: str, flag: str = "--axis") -> tuple[str, tuple]:
+    """``name=v1,v2,...`` with int-then-float value coercion.
+
+    Shared with the explore CLI's ``--discrete-axis`` (``flag`` names
+    the option in error messages).
+    """
     name, sep, raw = text.partition("=")
     if not sep or not raw:
         raise ConfigurationError(
-            f"--axis expects name=v1,v2,... got {text!r}"
+            f"{flag} expects name=v1,v2,... got {text!r}"
         )
 
     def coerce(token: str):

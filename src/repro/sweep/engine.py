@@ -103,28 +103,52 @@ def duty_cycle_grid(analysis: ScenarioAnalysis, steps: int) -> ScenarioGrid:
     return analysis.evaluate_batch(duty_grid(steps))
 
 
-def _select_candidates(
-    candidates: list[ScenarioCandidate], spec: SweepSpec
+def select_candidates(
+    candidates: list[ScenarioCandidate],
+    architectures: tuple[str, ...] | None,
 ) -> list[ScenarioCandidate]:
-    """Apply the spec's architecture subset, preserving model order.
+    """Apply an architecture subset, preserving model order.
 
     A requested architecture that is missing from *this point's*
     candidates is simply dropped for the point — it may be infeasible or
     unmappable there (the same drop-out the strict=False candidate build
     gives unrestricted sweeps).  Only an empty intersection is an error,
     which is also how typos surface: no point ever matches the name.
+    Shared by the sweep engine and the :mod:`repro.explore` cells.
     """
-    if spec.architectures is None:
+    if architectures is None:
         return candidates
-    wanted = set(spec.architectures)
+    wanted = set(architectures)
     selected = [c for c in candidates if c.name in wanted]
     if not selected:
         raise ConfigurationError(
             f"none of the requested architecture(s) "
-            f"{', '.join(spec.architectures)} are feasible here; this "
+            f"{', '.join(architectures)} are feasible here; this "
             f"point's candidates are {', '.join(c.name for c in candidates)}"
         )
     return selected
+
+
+def scalar_winner_regions(
+    winners: "list[str]", duty_cycles: "list[float]"
+) -> list[tuple[float, float, str]]:
+    """(start, end, winner) intervals from a scalar winner sequence.
+
+    The seed Section 7 loop's region reconstruction, factored out so the
+    scalar sweep oracle and the dense explore oracle share it; it is the
+    scalar twin of :meth:`~repro.energy.scenarios.ScenarioGrid.winning_regions`
+    (bit-identical boundaries — both read the same duty grid values).
+    """
+    regions: list[tuple[float, float, str]] = []
+    start = duty_cycles[0]
+    current = winners[0]
+    for winner, duty in zip(winners[1:], duty_cycles[1:]):
+        if winner != current:
+            regions.append((start, duty, current))
+            start = duty
+            current = winner
+    regions.append((start, duty_cycles[-1], current))
+    return regions
 
 
 def _check_engine(engine: str) -> None:
@@ -157,7 +181,7 @@ def point_candidates(
         candidates = DDCEvaluator().scenario_candidates(
             config, spec.standby_fraction, strict=False
         )
-    return _select_candidates(candidates, spec)
+    return select_candidates(candidates, spec.architectures)
 
 
 def evaluate_point(
@@ -211,16 +235,11 @@ def _point_result(
             tuple(r.powers_w[name] for name in names) for r in results
         )
         winners = tuple(r.winner for r in results)
-        regions_list: list[tuple[float, float, str]] = []
-        start = 0.0
-        current = results[0].winner
-        for r in results[1:]:
-            if r.winner != current:
-                regions_list.append((start, r.duty_cycle, current))
-                start = r.duty_cycle
-                current = r.winner
-        regions_list.append((start, 1.0, current))
-        regions = tuple(regions_list)
+        regions = tuple(
+            scalar_winner_regions(
+                [r.winner for r in results], [r.duty_cycle for r in results]
+            )
+        )
         scalar_pairs = []
         for i in range(len(candidates)):
             for j in range(i + 1, len(candidates)):
@@ -272,7 +291,7 @@ def run_sweep(
             configs, spec.standby_fraction, strict=False
         )
         items = [
-            (point, _select_candidates(candidates, spec))
+            (point, select_candidates(candidates, spec.architectures))
             for point, candidates in zip(points, per_point)
         ]
         task = functools.partial(_evaluate_prepared_point, spec, engine)

@@ -64,13 +64,13 @@ class TestRegressionCheck:
         ) == []
 
     def test_default_guard_covers_every_fast_path(self):
-        """CI guards the architecture fast paths, the batched sweep and
-        the batched model layer."""
+        """CI guards the architecture fast paths, the batched sweep, the
+        batched model layer and the adaptive explorer."""
         from repro.bench.report import GUARDED_BENCHES
 
         assert GUARDED_BENCHES == (
             "rtl_ddc", "gpp_ddc", "montium_ddc", "scenario_sweep",
-            "evaluator_batch",
+            "evaluator_batch", "explore_frontier",
         )
         # every guarded bench must be present on both sides, or the
         # guard fails

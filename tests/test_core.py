@@ -143,3 +143,33 @@ class TestEvaluator:
     def test_empty_models_rejected(self):
         with pytest.raises(ConfigurationError):
             DDCEvaluator([])
+
+
+class TestPlannerCostOnlyPath:
+    """The cost pass is struct-of-arrays: no reports, identical costs."""
+
+    def test_costs_equal_the_report_power(self):
+        from repro.archs.asic.lowpower import LowPowerDDCModel
+
+        spec = DDCSpec()
+        model = LowPowerDDCModel()
+        for plan in enumerate_plans(spec)[:5]:
+            config = spec.to_config(
+                plan.cic2, plan.cic5, plan.fir, fir_taps=125
+            )
+            assert plan.cost == model.implement(config).power_w
+
+    def test_no_reports_materialised_on_the_cost_pass(self, monkeypatch):
+        from repro.archs.asic import lowpower
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "the planner cost pass must not build reports"
+            )
+
+        monkeypatch.setattr(
+            lowpower.LowPowerDDCModel, "implement_batch", boom
+        )
+        monkeypatch.setattr(lowpower.LowPowerDDCModel, "_report", boom)
+        plans = enumerate_plans(DDCSpec())
+        assert (16, 21, 8) in [p.as_tuple() for p in plans]

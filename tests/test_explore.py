@@ -1,0 +1,474 @@
+"""The design-space exploration engine: Pareto, refinement, store.
+
+The load-bearing contracts (mirroring the batch/oracle conventions of
+``tests/test_evaluator_batch.py`` and ``tests/test_sweep.py``):
+
+- the vectorised Pareto mask is **bit-identical** to the scalar
+  double-loop oracle, and both satisfy the frontier axioms: members are
+  mutually non-dominated and every dominated row has a dominating
+  frontier witness (Hypothesis-pinned over random objective matrices);
+- adaptive refinement delivers the same report, byte for byte, as the
+  dense scalar-oracle grid on random small spaces over the rate axis;
+- the on-disk :class:`~repro.explore.store.ReportStore` round-trips
+  reports and cached mapping errors exactly, ignores records of models
+  whose content digest no longer matches, and warm-starts a second run
+  to >= 90 % report-cache hits with byte-identical frontiers (the PR's
+  acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archs.asic.lowpower import LowPowerDDCModel
+from repro.archs.montium.model import MontiumModel
+from repro.config import REFERENCE_DDC
+from repro.core.evaluator import (
+    DDCEvaluator,
+    ReportCache,
+    config_cache_key,
+    default_models,
+)
+from repro.errors import ConfigurationError
+from repro.explore import (
+    ExploreSpec,
+    ReportStore,
+    frontier_from_batches,
+    frontier_scalar,
+    model_digest,
+    pareto_mask,
+    pareto_mask_scalar,
+    run_explore,
+)
+from repro.explore.__main__ import main as explore_main
+
+#: A small space spanning both Cyclone f_max thresholds (candidate-set
+#: flips at ~66.08 and ~80.87 MHz) — cheap enough for scalar oracles.
+SMALL_SPACE = ExploreSpec(
+    axis=("input_rate_hz", 48_384_000.0, 96_768_000.0),
+    coarse_steps=3,
+    target_steps=9,
+    duty_cycle_steps=11,
+)
+
+
+# --------------------------------------------------------------- the engine
+def finite_rows():
+    value = st.one_of(
+        st.floats(
+            min_value=0.0, max_value=10.0, allow_nan=False, width=32
+        ),
+        st.sampled_from([0.0, 1.0, 2.0, math.inf]),
+    )
+    n = st.shared(st.integers(min_value=1, max_value=6), key="n")
+    m = st.shared(st.integers(min_value=1, max_value=3), key="m")
+    return n.flatmap(
+        lambda rows: m.flatmap(
+            lambda cols: st.lists(
+                st.lists(value, min_size=cols, max_size=cols),
+                min_size=rows, max_size=rows,
+            )
+        )
+    )
+
+
+class TestParetoEngine:
+    @settings(max_examples=200, deadline=None)
+    @given(rows=finite_rows(), data=st.data())
+    def test_batch_equals_scalar_and_axioms(self, rows, data):
+        eligible = data.draw(
+            st.lists(
+                st.booleans(), min_size=len(rows), max_size=len(rows)
+            )
+        )
+        scalar = pareto_mask_scalar(rows, eligible)
+        batch = pareto_mask(
+            np.array(rows, dtype=float), np.array(eligible, dtype=bool)
+        )
+        assert scalar == list(batch)
+        # Frontier axioms, on the scalar oracle:
+        members = [j for j, keep in enumerate(scalar) if keep]
+        for j in members:  # mutually non-dominated
+            for i in members:
+                if i == j:
+                    continue
+                all_le = all(
+                    a <= b for a, b in zip(rows[i], rows[j])
+                )
+                any_lt = any(a < b for a, b in zip(rows[i], rows[j]))
+                assert not (all_le and any_lt)
+        for j, keep in enumerate(scalar):  # dominated -> member witness
+            if keep or not eligible[j]:
+                continue
+            assert any(
+                all(a <= b for a, b in zip(rows[i], rows[j]))
+                and any(a < b for a, b in zip(rows[i], rows[j]))
+                for i in members
+            )
+
+    def test_batched_leading_dimension(self):
+        rows = np.array(
+            [
+                [[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]],
+                [[1.0, 1.0], [1.0, 1.0], [0.5, 2.0]],
+            ]
+        )
+        got = pareto_mask(rows)
+        assert got.shape == (2, 3)
+        for k in range(2):
+            assert list(got[k]) == pareto_mask_scalar(rows[k].tolist())
+
+    def test_duplicates_survive_together(self):
+        assert pareto_mask_scalar([[1.0, 2.0], [1.0, 2.0]]) == [True, True]
+
+    def test_ineligible_rows_neither_join_nor_dominate(self):
+        rows = [[0.0, 0.0], [1.0, 1.0]]
+        assert pareto_mask_scalar(rows, [False, True]) == [False, True]
+
+    def test_frontier_from_batches_equals_scalar(self):
+        models = default_models()
+        configs = [
+            dataclasses.replace(REFERENCE_DDC, input_rate_hz=r)
+            for r in (32_256_000.0, 64_512_000.0, 90_000_000.0)
+        ]
+        batches = [m.implement_batch(configs) for m in models]
+        objectives = ("power_w", "area_mm2", "clock_hz")
+        masks = frontier_from_batches(batches, objectives)
+        for i, config in enumerate(configs):
+            reports = []
+            for m in models:
+                try:
+                    reports.append(m.implement(config))
+                except ConfigurationError:
+                    reports.append(None)
+            assert list(masks[i]) == frontier_scalar(reports, objectives)
+
+    def test_unknown_objective_rejected(self):
+        report = LowPowerDDCModel().implement(REFERENCE_DDC)
+        with pytest.raises(ConfigurationError, match="objective"):
+            frontier_scalar([report], ("bogus",))
+
+
+class TestExploreSpec:
+    def test_validates_axis_field(self):
+        with pytest.raises(ConfigurationError, match="continuous axis"):
+            ExploreSpec(axis=("data_width", 8.0, 16.0))
+
+    def test_validates_axis_range(self):
+        with pytest.raises(ConfigurationError, match="lo < hi"):
+            ExploreSpec(axis=("input_rate_hz", 9e7, 9e7))
+
+    def test_validates_bisection_geometry(self):
+        with pytest.raises(ConfigurationError, match="2\\*\\*k"):
+            ExploreSpec(coarse_steps=5, target_steps=13)  # stride 3
+
+    def test_validates_objectives(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            ExploreSpec(objectives=("power_w", "bogus"))
+        with pytest.raises(ConfigurationError, match="unique"):
+            ExploreSpec(objectives=("power_w", "power_w"))
+
+    def test_probe_indices_are_deterministic_and_disjoint(self):
+        spec = dataclasses.replace(SMALL_SPACE, probe_points=3, seed=7)
+        probes = spec.probe_indices()
+        assert probes == spec.probe_indices()
+        assert len(probes) == 3
+        assert not set(probes) & set(spec.coarse_indices())
+        other = dataclasses.replace(spec, seed=8).probe_indices()
+        assert probes != other or len(set(range(9)) - {0, 4, 8}) <= 3
+
+    def test_grid_geometry(self):
+        assert SMALL_SPACE.coarse_indices() == [0, 4, 8]
+        assert SMALL_SPACE.coarse_stride == 4
+        assert SMALL_SPACE.n_cells == 9
+        values = SMALL_SPACE.axis_values()
+        assert values[0] == 48_384_000.0
+        assert values[-1] == 96_768_000.0
+
+
+class TestAdaptiveEqualsDense:
+    def test_small_space_byte_identical(self):
+        adaptive = run_explore(
+            SMALL_SPACE, "adaptive", DDCEvaluator(cache=ReportCache())
+        )
+        dense = run_explore(SMALL_SPACE, "dense")
+        assert adaptive.render("json") == dense.render("json")
+        assert adaptive.render("csv") == dense.render("csv")
+        assert adaptive.evaluations < dense.evaluations == 9
+
+    def test_discrete_axes_and_architectures(self):
+        spec = dataclasses.replace(
+            SMALL_SPACE,
+            discrete_axes=(("data_width", (10, 12)),),
+            architectures=(
+                "Montium TP", "Altera Cyclone II", "Altera Cyclone I",
+            ),
+            objectives=("power_w", "energy_per_output_sample_j"),
+        )
+        adaptive = run_explore(
+            spec, "adaptive", DDCEvaluator(cache=ReportCache())
+        )
+        dense = run_explore(spec, "dense")
+        assert adaptive.render("json") == dense.render("json")
+        assert len(adaptive.points) == 2
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        lo=st.sampled_from([24_192_000.0, 40_320_000.0, 56_448_000.0]),
+        span=st.sampled_from([16_128_000.0, 48_384_000.0, 80_640_000.0]),
+        shape=st.sampled_from([(3, 9), (5, 9), (3, 5)]),
+        steps=st.sampled_from([5, 11]),
+        objectives=st.sampled_from(
+            [
+                ("power_w",),
+                ("power_w", "area_mm2"),
+                ("energy_per_output_sample_j", "clock_hz"),
+            ]
+        ),
+        probes=st.sampled_from([0, 2]),
+    )
+    def test_random_small_spaces(
+        self, lo, span, shape, steps, objectives, probes
+    ):
+        coarse, target = shape
+        spec = ExploreSpec(
+            axis=("input_rate_hz", lo, lo + span),
+            coarse_steps=coarse,
+            target_steps=target,
+            duty_cycle_steps=steps,
+            objectives=objectives,
+            probe_points=probes,
+            seed=3,
+        )
+        adaptive = run_explore(
+            spec, "adaptive", DDCEvaluator(cache=ReportCache())
+        )
+        dense = run_explore(spec, "dense")
+        assert adaptive.render("json") == dense.render("json")
+
+    def test_budget_stops_refinement_but_fills_every_cell(self):
+        spec = dataclasses.replace(SMALL_SPACE, max_evaluations=4)
+        report = run_explore(
+            spec, "adaptive", DDCEvaluator(cache=ReportCache())
+        )
+        assert report.evaluations <= 4
+        assert len(report.points[0].cells) == spec.target_steps
+        assert [c.index for c in report.points[0].cells] == list(range(9))
+
+    def test_snapshots_cover_the_coarse_grid(self):
+        report = run_explore(
+            SMALL_SPACE, "adaptive", DDCEvaluator(cache=ReportCache())
+        )
+        assert [s.index for s in report.points[0].snapshots] == [0, 4, 8]
+        snap = report.points[0].snapshots[0]
+        names = [a.name for a in snap.architectures]
+        assert "Montium TP" in names and "Altera Cyclone II" in names
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            run_explore(SMALL_SPACE, "magic")
+
+
+class TestReportStore:
+    def _space(self):
+        return SMALL_SPACE
+
+    def test_round_trip_reports_and_errors(self, tmp_path):
+        models = [LowPowerDDCModel(), MontiumModel()]
+        off = dataclasses.replace(
+            REFERENCE_DDC, cic5_decimation=42, fir_decimation=4
+        )
+        cache = ReportCache()
+        for m in models:
+            cache.implement_batch(m, [REFERENCE_DDC, off])
+        store = ReportStore(tmp_path / "store.jsonl")
+        assert store.save(cache) == 4
+
+        clone = ReportCache()
+        loaded = ReportStore(tmp_path / "store.jsonl").load(clone, models)
+        assert loaded == 4
+        for m in models:
+            want = cache.implement_batch(m, [REFERENCE_DDC, off])
+            got = clone.implement_batch(m, [REFERENCE_DDC, off])
+            assert got.reports == want.reports
+            assert got.architecture == want.architecture
+            for g, w in zip(got.errors, want.errors):
+                assert (g is None) == (w is None)
+                if g is not None:
+                    assert type(g) is type(w) and str(g) == str(w)
+        # everything above served from the store, no model re-runs
+        assert clone.misses == 0
+
+    def test_invalidation_by_model_content_hash(self, tmp_path):
+        cache = ReportCache()
+        model = LowPowerDDCModel()
+        cache.implement(model, REFERENCE_DDC)
+        store = ReportStore(tmp_path / "store.jsonl")
+        store.save(cache)
+        # A model whose constants changed has a different cache_key()
+        # (the cache-key contract), so its digest no longer matches.
+        tweaked = LowPowerDDCModel(
+            dataclasses.replace(
+                model.spec, power_w_at_reference=0.030
+            )
+        )
+        assert model_digest(tweaked.cache_key()) != model_digest(
+            model.cache_key()
+        )
+        fresh = ReportCache()
+        assert store.load(fresh, [tweaked]) == 0
+        assert store.load(fresh, [model]) == 1
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(json.dumps({"schema": "other/v9"}) + "\n")
+        with pytest.raises(ConfigurationError, match="schema"):
+            ReportStore(path).load(ReportCache(), default_models())
+
+    def test_corrupt_store_is_a_library_error(self, tmp_path):
+        """A torn/truncated file surfaces as ConfigurationError (the
+        CLI's clean exit path), not a raw JSONDecodeError."""
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            json.dumps({"schema": "repro-explore-store/v1"})
+            + "\n{\"kind\": \"report\", \"model\""
+        )
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            ReportStore(path).load(ReportCache(), default_models())
+
+    def test_save_leaves_no_temp_droppings(self, tmp_path):
+        cache = ReportCache()
+        cache.implement(LowPowerDDCModel(), REFERENCE_DDC)
+        store = ReportStore(tmp_path / "store.jsonl")
+        store.save(cache)
+        store.save(cache)
+        assert [p.name for p in tmp_path.iterdir()] == ["store.jsonl"]
+
+    def test_save_merges_with_existing_records(self, tmp_path):
+        store = ReportStore(tmp_path / "store.jsonl")
+        first = ReportCache()
+        first.implement(LowPowerDDCModel(), REFERENCE_DDC)
+        store.save(first)
+        second = ReportCache()
+        second.implement(MontiumModel(), REFERENCE_DDC)
+        assert store.save(second) == 2  # union, not clobber
+
+    def test_warm_start_hit_rate_and_identical_frontiers(self, tmp_path):
+        """The acceptance criterion: a second run against a warm store
+        reproduces the same frontiers with >= 90 % report-cache hits."""
+        spec = self._space()
+        store = ReportStore(tmp_path / "store.jsonl")
+
+        cold_ev = DDCEvaluator(cache=ReportCache())
+        cold = run_explore(spec, "adaptive", cold_ev)
+        store.save(cold_ev.cache)
+        store.save_frontier(spec, cold_ev.models, cold.to_json_doc())
+
+        warm_cache = ReportCache()
+        warm_ev = DDCEvaluator(cache=warm_cache)
+        assert store.load(warm_cache, warm_ev.models) > 0
+        warm = run_explore(spec, "adaptive", warm_ev)
+        total = warm_cache.hits + warm_cache.misses
+        assert total > 0
+        assert warm_cache.hits / total >= 0.90
+        assert warm.render("json") == cold.render("json")
+        assert store.load_frontier(spec, warm_ev.models) == json.loads(
+            json.dumps(cold.to_json_doc())
+        )
+
+    def test_frontier_snapshot_keyed_on_space(self, tmp_path):
+        store = ReportStore(tmp_path / "store.jsonl")
+        models = default_models()
+        store.save_frontier(SMALL_SPACE, models, {"cells": 9})
+        other = dataclasses.replace(SMALL_SPACE, target_steps=5)
+        assert store.load_frontier(other, models) is None
+        assert store.load_frontier(SMALL_SPACE, models) == {"cells": 9}
+
+
+class TestReportCacheHook:
+    def test_insert_and_entries_round_trip(self):
+        cache = ReportCache()
+        model = LowPowerDDCModel()
+        report = model.implement(REFERENCE_DDC)
+        cache.insert(
+            model.cache_key(), config_cache_key(REFERENCE_DDC), report,
+            None,
+        )
+        assert cache.implement(model, REFERENCE_DDC) == report
+        assert cache.hits == 1 and cache.misses == 0
+        entries = list(cache.entries())
+        assert entries == [
+            (
+                model.cache_key(),
+                config_cache_key(REFERENCE_DDC),
+                report,
+                None,
+            )
+        ]
+
+    def test_insert_rejects_malformed_entries(self):
+        cache = ReportCache()
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            cache.insert(("m",), (1,), None, None)
+
+
+class TestExploreCLI:
+    def test_verify_small_space(self, capsys):
+        assert (
+            explore_main(
+                ["--verify", "--coarse", "3", "--target", "9",
+                 "--steps", "11"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verify OK" in out
+
+    def test_report_and_summary(self, tmp_path, capsys):
+        out_path = tmp_path / "frontier.json"
+        assert (
+            explore_main(
+                ["--coarse", "3", "--target", "9", "--steps", "11",
+                 "--output", str(out_path)]
+            )
+            == 0
+        )
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-explore/v1"
+        assert len(doc["points"][0]["cells"]) == 9
+        assert (
+            explore_main(
+                ["--coarse", "3", "--target", "9", "--steps", "11",
+                 "--summary"]
+            )
+            == 0
+        )
+        assert "frontier" in capsys.readouterr().out
+
+    def test_bad_spec_is_a_clean_error(self, capsys):
+        assert explore_main(["--target", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_requires_the_adaptive_engine(self, tmp_path, capsys):
+        """--store with the uncached modes is a loud error, not a
+        silently skipped spill."""
+        path = str(tmp_path / "s.jsonl")
+        for extra in (["--engine", "dense"], ["--verify"]):
+            assert explore_main(["--store", path, *extra]) == 2
+            assert "adaptive engine" in capsys.readouterr().err
+
+
+def test_figure_pareto_renders():
+    from repro.paper import figure_pareto
+
+    text = figure_pareto().render()
+    assert "Pareto frontier" in text
+    assert "Montium TP" in text
+    assert "*" in text

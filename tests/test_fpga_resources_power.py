@@ -160,3 +160,38 @@ class TestCycloneModel:
         model = CycloneModel(CYCLONE_II_EP2C5)
         dyn = model.dynamic_power_w(REFERENCE_DDC)
         assert dyn == pytest.approx(0.03111, rel=0.03)
+
+
+class TestBatchedResourceEstimator:
+    """estimate_ddc_resources_batch is bit-identical to the scalar
+    estimator, degenerate word-length errors included."""
+
+    @pytest.mark.parametrize("device", [CYCLONE_I_EP1C3, CYCLONE_II_EP2C5])
+    def test_matches_scalar_over_a_grid(self, device):
+        from repro.archs.fpga.resources import estimate_ddc_resources_batch
+
+        configs = [
+            DDCConfig(data_width=w, fir_taps=taps)
+            for w in (8, 12, 16, 20)
+            for taps in (1, 63, 125)
+        ]
+        usages, errors = estimate_ddc_resources_batch(device, configs)
+        for config, usage, error in zip(configs, usages, errors):
+            try:
+                want = estimate_ddc_resources(device, config)
+            except ConfigurationError as exc:
+                assert usage is None
+                assert type(error) is type(exc) and str(error) == str(exc)
+            else:
+                assert error is None and usage == want
+
+    def test_empty_batch(self):
+        from repro.archs.fpga.resources import estimate_ddc_resources_batch
+
+        assert estimate_ddc_resources_batch(CYCLONE_I_EP1C3, []) == ([], [])
+
+    def test_dynamic_power_batch_matches_scalar(self):
+        model = CycloneModel(CYCLONE_II_EP2C5)
+        configs = [DDCConfig(data_width=w) for w in (8, 12, 14)]
+        batch = model.dynamic_power_batch(configs)
+        assert batch == [model.dynamic_power_w(c) for c in configs]

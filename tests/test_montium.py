@@ -301,3 +301,41 @@ class TestMontiumModel:
         model = MontiumModel()
         assert model.supports(REFERENCE_DDC)
         assert not model.supports(DDCConfig(cic2_decimation=8))
+
+
+class TestVectorisedScheduleAnalysis:
+    """analyze_schedule (numpy) == analyze_schedule_scalar (seed loop)."""
+
+    def test_ddc_schedule_matches_oracle(self):
+        from repro.archs.montium.schedule import analyze_schedule_scalar
+
+        program = build_ddc_schedule()
+        assert analyze_schedule(program) == analyze_schedule_scalar(program)
+
+    def test_sparse_synthetic_schedule_matches_oracle(self):
+        from repro.archs.montium.program import TileProgram
+        from repro.archs.montium.schedule import analyze_schedule_scalar
+
+        op_a = ALUOp(label="a")
+        op_b = ALUOp(label="b")
+        program = TileProgram(
+            cycles=[
+                {0: op_a, 3: op_b},
+                {},
+                {0: op_a, 1: op_a, 4: op_b},
+                {2: op_b},
+            ]
+        )
+        got = analyze_schedule(program)
+        want = analyze_schedule_scalar(program)
+        assert got == want
+        assert got.by_label("a").n_alus == 2
+        assert got.by_label("b").percent_of_time == 75.0
+
+    def test_empty_program_raises(self):
+        from repro.archs.montium.program import TileProgram
+        from repro.archs.montium.schedule import analyze_schedule_scalar
+
+        for fn in (analyze_schedule, analyze_schedule_scalar):
+            with pytest.raises(ConfigurationError, match="empty"):
+                fn(TileProgram(cycles=[]))

@@ -126,3 +126,79 @@ class TestProcessBackend:
     def test_negative_workers_rejected(self):
         with pytest.raises(ConfigurationError, match="workers"):
             parallel_map(_square_mod, [1], workers=-2, backend="process")
+
+
+class TestPersistentPools:
+    """Pools outlive parallel_map calls and are reused per (backend,
+    workers) key; shutdown() tears them down explicitly."""
+
+    def test_thread_pool_object_is_reused(self):
+        from repro import parallel
+
+        parallel.shutdown()
+        parallel_map(_square_mod, range(8), workers=3)
+        pool = parallel._POOLS.get(("thread", 3))
+        assert pool is not None
+        parallel_map(_square_mod, range(8), workers=3)
+        assert parallel._POOLS.get(("thread", 3)) is pool
+        assert parallel.shutdown() == 1
+        assert parallel._POOLS == {}
+
+    def test_process_workers_are_reused_across_calls(self):
+        from repro import parallel
+
+        parallel.shutdown()
+        first = set(
+            parallel_map(_current_pid, range(8), workers=2,
+                         backend="process")
+        )
+        second = set(
+            parallel_map(_current_pid, range(8), workers=2,
+                         backend="process")
+        )
+        # Same pool, same worker processes: spawn-up paid once.
+        assert first & second
+        assert parallel.shutdown() == 1
+
+    def test_distinct_worker_counts_get_distinct_pools(self):
+        from repro import parallel
+
+        parallel.shutdown()
+        parallel_map(_square_mod, range(8), workers=2)
+        parallel_map(_square_mod, range(8), workers=4)
+        assert set(parallel._POOLS) == {("thread", 2), ("thread", 4)}
+        assert parallel.shutdown() == 2
+
+    def test_task_exception_leaves_the_pool_alive(self):
+        from repro import parallel
+
+        parallel.shutdown()
+        with pytest.raises(ValueError, match="item 2"):
+            parallel_map(_boom_on_two, [0, 1, 2, 3], workers=2)
+        pool = parallel._POOLS.get(("thread", 2))
+        assert pool is not None
+        assert parallel_map(_square_mod, [5], workers=1) == [3]
+        assert parallel_map(_boom_on_two, [0, 1], workers=2) == [0, 1]
+        parallel.shutdown()
+
+    def test_reused_pool_results_stay_serial_identical(self):
+        from repro import parallel
+
+        parallel.shutdown()
+        items = list(range(41))
+        serial = [_square_mod(x) for x in items]
+        for backend in ("thread", "process"):
+            for _ in range(3):
+                got = parallel_map(
+                    _square_mod, items, workers=3, backend=backend
+                )
+                assert got == serial
+        parallel.shutdown()
+
+    def test_get_pool_validates_arguments(self):
+        from repro.parallel import get_pool
+
+        with pytest.raises(ConfigurationError, match="backend"):
+            get_pool("fiber", 2)
+        with pytest.raises(ConfigurationError, match="workers"):
+            get_pool("thread", 0)
