@@ -59,8 +59,9 @@ def load_report(path: str | Path) -> dict:
 
 #: Benches guarded by CI: every architecture's fast path, the batched
 #: scenario-sweep grid of ``repro.sweep``, the batched
-#: architecture-model layer (``implement_batch`` vs the scalar loop) and
-#: the adaptive design-space explorer of ``repro.explore``.
+#: architecture-model layer (``implement_batch`` vs the scalar loop),
+#: the adaptive design-space explorer of ``repro.explore`` and the
+#: fault-tolerant sweep path (retry recovery under injection).
 GUARDED_BENCHES = (
     "rtl_ddc",
     "gpp_ddc",
@@ -68,6 +69,7 @@ GUARDED_BENCHES = (
     "scenario_sweep",
     "evaluator_batch",
     "explore_frontier",
+    "sweep_faulty",
 )
 
 

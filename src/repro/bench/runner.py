@@ -450,4 +450,51 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
         "adaptive refinement (batched model passes, vectorised Pareto) "
         "vs the dense scalar-oracle grid",
     )
+
+    # Fault-tolerant sweep: the same batched scenario grid with a
+    # transient injected failure recovered by on_error="retry", against
+    # the fault-free strict run.  Units are grid cells (duty cycle x
+    # point) per second; the pair prices the resilience layer itself —
+    # the fault_point probes on the hot path plus one retried point —
+    # so a regression here means recovery got expensive, not the sweep.
+    # A fresh inject() per timed run resets the firing counters, keeping
+    # every repeat deterministic (exactly one injected failure each).
+    from .. import faults
+    from ..sweep import SweepSpec, run_sweep
+
+    say("bench sweep_faulty (retry recovery under injection) ...")
+    faulty_spec = SweepSpec.from_axes(
+        {"fir_taps": (63, 127, 255)},
+        duty_cycle_steps=2_001,
+        on_error="retry",
+    )
+    fault_plan = faults.FaultPlan(
+        (faults.FaultSpec("sweep.point", keys=(1,)),)
+    )
+
+    def _run_faulty():
+        with faults.inject(fault_plan):
+            run_sweep(faulty_spec)
+
+    faulty_reps = 3 if quick else min(7, repeats)
+    faulty_secs = time_fn(_run_faulty, repeats=faulty_reps)
+    say("bench sweep_faulty (fault-free strict baseline) ...")
+    strict_spec = SweepSpec.from_axes(
+        {"fir_taps": (63, 127, 255)}, duty_cycle_steps=2_001
+    )
+    strict_secs = time_fn(
+        lambda: run_sweep(strict_spec), repeats=faulty_reps
+    )
+    results["sweep_faulty"] = BenchResult(
+        name="sweep_faulty",
+        samples_per_sec=faulty_spec.n_grid_cells / faulty_secs,
+        seconds=faulty_secs,
+        repeats=faulty_reps,
+        n_samples=faulty_spec.n_grid_cells,
+        baseline_samples_per_sec=strict_spec.n_grid_cells / strict_secs,
+        baseline_seconds=strict_secs,
+        notes="fir_taps sweep (cells/sec) with one injected point "
+        "failure recovered under on_error=retry vs the fault-free "
+        "strict sweep; prices the fault_point probes + one retry",
+    )
     return results

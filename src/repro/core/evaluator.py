@@ -565,6 +565,42 @@ class DDCEvaluator:
             out.append(self._require_candidates(candidates, config))
         return out
 
+    def scenario_candidate_outcomes_from_batches(
+        self,
+        batches: Sequence[BatchImplementationReport],
+        configs: Sequence[DDCConfig],
+        standby_fraction: float = 0.05,
+    ) -> list[tuple[list[ScenarioCandidate] | None, Exception | None]]:
+        """Per-config candidate lists with a captured error channel.
+
+        The fault-tolerant twin of :meth:`scenario_candidates_from_batches`
+        (``strict=False`` semantics): models that cannot map a
+        configuration drop out silently, and a configuration that yields
+        *no* feasible candidate produces ``(None, error)`` instead of
+        raising — so one poisoned grid cell cannot abort a whole
+        ``on_error="skip"``/``"retry"`` sweep or exploration.  Exactly
+        one element of each tuple is non-``None``; successful entries
+        are bit-identical to the strict path's.
+        """
+        out: list[tuple[list[ScenarioCandidate] | None, Exception | None]] = []
+        for i, config in enumerate(configs):
+            candidates = []
+            for batch in batches:
+                if batch.errors[i] is not None:
+                    continue
+                report = batch.reports[i]
+                assert report is not None
+                if not report.feasible:
+                    continue
+                candidates.append(self._candidate(report, standby_fraction))
+            try:
+                out.append(
+                    (self._require_candidates(candidates, config), None)
+                )
+            except ConfigurationError as exc:
+                out.append((None, exc))
+        return out
+
     def scenario_analysis(
         self, config: DDCConfig = REFERENCE_DDC,
         standby_fraction: float = 0.05,

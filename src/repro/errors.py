@@ -48,3 +48,27 @@ class MappingError(ReproError):
     cycles than the tile provides, and by the FPGA fitter when a design does
     not fit the selected device.
     """
+
+
+class TaskFailedError(ReproError):
+    """A parallel/retried task kept failing after every allowed attempt.
+
+    Raised by :func:`repro.resilience.call_with_retry` and the retrying
+    path of :func:`repro.parallel.parallel_map` once a
+    :class:`~repro.resilience.RetryPolicy` is exhausted.  ``__cause__``
+    carries the last underlying exception; ``attempts`` records how many
+    times the task ran.
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class PartialResultError(ReproError):
+    """An execution-layer run degraded so far that no result survived.
+
+    Raised when an ``on_error="skip"``/``"retry"`` sweep or exploration
+    records a failure for *every* cell — a partial report with nothing in
+    it is an error, not an empty success.
+    """

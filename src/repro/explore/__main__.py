@@ -71,6 +71,7 @@ def build_spec(args: argparse.Namespace) -> ExploreSpec:
         probe_points=args.probes,
         seed=args.seed,
         max_evaluations=args.budget,
+        on_error=args.on_error,
         **kwargs,
     )
 
@@ -128,6 +129,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--budget", type=int, default=None,
         help="max evaluated cells per discrete point (default: none)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        help="cell-failure policy: raise = abort on the first failure, "
+        "skip = record it and continue, retry = retry the cell first and "
+        "record only if every attempt fails; a report with recorded "
+        "failures is marked partial and exits with status 3 "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--engine", choices=("adaptive", "dense"), default="adaptive",
@@ -218,7 +227,27 @@ def main(argv: list[str] | None = None) -> int:
                     f"{args.store}",
                     file=sys.stderr,
                 )
-        report = run_explore(spec, engine=args.engine, evaluator=evaluator)
+                if store.last_salvaged:
+                    print(
+                        f"store: salvaged a damaged store file — "
+                        f"{store.last_salvaged} bad line(s) quarantined "
+                        f"to {store.quarantine_path}",
+                        file=sys.stderr,
+                    )
+                checkpoint = store.load_checkpoint(spec, evaluator.models)
+                if checkpoint is not None:
+                    done = sum(
+                        len(cells) for cells in checkpoint["evaluated"]
+                    )
+                    print(
+                        f"store: resuming from checkpoint — round "
+                        f"{checkpoint['round']}, {done} cell(s) already "
+                        f"evaluated, {len(checkpoint['pending'])} pending",
+                        file=sys.stderr,
+                    )
+        report = run_explore(
+            spec, engine=args.engine, evaluator=evaluator, store=store
+        )
         if store is not None and evaluator is not None:
             total = store.save(evaluator.cache)
             store.save_frontier(
@@ -235,6 +264,16 @@ def main(argv: list[str] | None = None) -> int:
             report.write(args.output, args.format)
             if args.output != "-":
                 print(f"wrote {args.output}")
+        if report.partial:
+            failed = sum(
+                1 for p in report.points for cell in p.cells if cell.failed
+            )
+            print(
+                f"warning: partial report — {failed} cell(s) failed "
+                f"under --on-error {spec.on_error}",
+                file=sys.stderr,
+            )
+            return 3
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

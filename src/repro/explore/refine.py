@@ -37,7 +37,9 @@ from typing import Any, Sequence
 from ..config import DDCConfig
 from ..core.evaluator import DDCEvaluator, shared_evaluator
 from ..energy.scenarios import ScenarioAnalysis
-from ..errors import ConfigurationError, MappingError
+from ..errors import ConfigurationError, MappingError, PartialResultError
+from ..faults import fault_point
+from ..resilience import DEFAULT_RETRY, call_with_retry, failure_cause
 from ..sweep.engine import (
     duty_cycle_grid,
     scalar_winner_regions,
@@ -60,6 +62,13 @@ class CellOutcome:
     per-cell data (objective values) lives in the coarse-grid
     :class:`CellSnapshot` instead — both engines evaluate those cells,
     so the numbers are present in both reports, bit for bit.
+
+    ``error`` is the per-cell error channel: under
+    ``on_error="skip"``/``"retry"`` a failing cell is recorded as a
+    ``(type_name, message)`` pair with empty candidates/frontier/winner
+    data instead of aborting the exploration.  The error participates in
+    the refinement signature, so the boundary of a failing region is
+    bisected exactly like any other outcome change.
     """
 
     index: int
@@ -68,15 +77,23 @@ class CellOutcome:
     frontier: tuple[str, ...]
     winners: tuple[str, ...]
     winning_regions: tuple[tuple[float, float, str], ...]
+    error: tuple[str, str] | None = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this cell carries a recorded failure."""
+        return self.error is not None
 
     @property
     def static_winner(self) -> str:
         """Winner at duty cycle 1.0 (the grid's last step)."""
+        if not self.winners:
+            return "unavailable"
         return self.winners[-1]
 
     def signature(self) -> tuple:
         """What refinement compares across a cell boundary."""
-        return (self.candidates, self.frontier, self.winners)
+        return (self.candidates, self.frontier, self.winners, self.error)
 
     def at(self, index: int, value: float) -> "CellOutcome":
         """This outcome re-addressed to a neighbouring cell (the fill)."""
@@ -90,6 +107,11 @@ class CellOutcome:
             "frontier": list(self.frontier),
             "static_winner": self.static_winner,
             "winning_regions": [list(r) for r in self.winning_regions],
+            "error": (
+                None
+                if self.error is None
+                else {"type": self.error[0], "message": self.error[1]}
+            ),
         }
 
 
@@ -177,11 +199,117 @@ class PointExploration:
 _CellData = tuple[CellOutcome, CellSnapshot]
 
 
+# -------------------------------------------------- checkpoint round-trips
+# Unlike ``CellOutcome.to_json`` (a *report* view that drops the winners
+# tuple for compactness), these serialisers round-trip the full outcome
+# and snapshot state bit for bit — floats survive through json's
+# shortest-repr encoding — so a resumed run is byte-identical to an
+# uninterrupted one.
+def _cell_to_doc(cell: _CellData) -> list:
+    outcome, snapshot = cell
+    return [
+        {
+            "index": outcome.index,
+            "value": outcome.value,
+            "candidates": list(outcome.candidates),
+            "frontier": list(outcome.frontier),
+            "winners": list(outcome.winners),
+            "winning_regions": [list(r) for r in outcome.winning_regions],
+            "error": None if outcome.error is None else list(outcome.error),
+        },
+        {
+            "index": snapshot.index,
+            "value": snapshot.value,
+            "architectures": [
+                {
+                    "name": a.name,
+                    "mappable": a.mappable,
+                    "feasible": a.feasible,
+                    "on_frontier": a.on_frontier,
+                    "objectives": list(a.objectives),
+                }
+                for a in snapshot.architectures
+            ],
+        },
+    ]
+
+
+def _cell_from_doc(doc: list) -> _CellData:
+    out_doc, snap_doc = doc
+    outcome = CellOutcome(
+        index=out_doc["index"],
+        value=out_doc["value"],
+        candidates=tuple(out_doc["candidates"]),
+        frontier=tuple(out_doc["frontier"]),
+        winners=tuple(out_doc["winners"]),
+        winning_regions=tuple(
+            (r[0], r[1], r[2]) for r in out_doc["winning_regions"]
+        ),
+        error=(
+            None
+            if out_doc["error"] is None
+            else (out_doc["error"][0], out_doc["error"][1])
+        ),
+    )
+    snapshot = CellSnapshot(
+        index=snap_doc["index"],
+        value=snap_doc["value"],
+        architectures=tuple(
+            ArchSnapshot(
+                name=a["name"],
+                mappable=a["mappable"],
+                feasible=a["feasible"],
+                on_frontier=a["on_frontier"],
+                objectives=tuple(a["objectives"]),
+            )
+            for a in snap_doc["architectures"]
+        ),
+    )
+    return outcome, snapshot
+
+
 def _check_engine(engine: str) -> None:
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown explore engine {engine!r}; expected one of {ENGINES}"
         )
+
+
+def _failed_outcome(index: int, value: float, exc: Exception) -> CellOutcome:
+    """The recorded-failure sentinel outcome for one cell."""
+    cause = failure_cause(exc)
+    return CellOutcome(
+        index=index,
+        value=value,
+        candidates=(),
+        frontier=(),
+        winners=(),
+        winning_regions=(),
+        error=(type(cause).__name__, str(cause)),
+    )
+
+
+def _tolerant_cell(
+    spec: ExploreSpec, index: int, value: float, key: Any, build
+) -> CellOutcome:
+    """Run one cell's outcome builder under the spec's failure policy.
+
+    ``build`` is a zero-argument callable producing the
+    :class:`CellOutcome` (it contains the cell's fault site, so a retry
+    re-visits it).  ``"raise"`` propagates, ``"retry"`` retries under
+    :data:`~repro.resilience.DEFAULT_RETRY`, and any recorded failure
+    becomes a :func:`_failed_outcome` sentinel.
+    """
+    if spec.on_error == "raise":
+        return build()
+    try:
+        if spec.on_error == "retry":
+            return call_with_retry(
+                build, DEFAULT_RETRY, label=f"explore cell {key}"
+            )
+        return build()
+    except Exception as exc:  # noqa: BLE001 — the error channel records it
+        return _failed_outcome(index, value, exc)
 
 
 # ------------------------------------------------------------ batched cells
@@ -190,31 +318,60 @@ def _evaluate_cells_batch(
     spec: ExploreSpec,
     indices: Sequence[int],
     configs: Sequence[DDCConfig],
+    keys: Sequence[Any] | None = None,
 ) -> list[_CellData]:
-    """Evaluate a round of cells in one batched model pass."""
+    """Evaluate a round of cells in one batched model pass.
+
+    ``keys`` are the cells' content identities (``(point, index)``
+    pairs) for the ``"explore.cell"`` fault site; snapshots are built
+    from the already-materialised batches regardless of the cell's
+    outcome, so a recorded failure never loses the model numbers.
+    """
     batches = evaluator.report_batches(configs)
-    candidate_lists = evaluator.scenario_candidates_from_batches(
-        batches, configs, spec.standby_fraction, strict=False
-    )
+    tolerant = spec.on_error != "raise"
+    if tolerant:
+        outcomes = evaluator.scenario_candidate_outcomes_from_batches(
+            batches, configs, spec.standby_fraction
+        )
+    else:
+        outcomes = [
+            (candidates, None)
+            for candidates in evaluator.scenario_candidates_from_batches(
+                batches, configs, spec.standby_fraction, strict=False
+            )
+        ]
     wanted = set(spec.architectures) if spec.architectures else None
     masks = frontier_from_batches(batches, spec.objectives, wanted)
     labels = [b.architecture for b in batches]
     out: list[_CellData] = []
     for i, index in enumerate(indices):
+        key = keys[i] if keys is not None else index
         value = spec.value_at(index)
-        selected = select_candidates(candidate_lists[i], spec.architectures)
-        analysis = ScenarioAnalysis(selected)
-        grid = duty_cycle_grid(analysis, spec.duty_cycle_steps)
-        outcome = CellOutcome(
-            index=index,
-            value=value,
-            candidates=tuple(c.name for c in selected),
-            frontier=tuple(
-                labels[j] for j in range(len(labels)) if masks[i, j]
-            ),
-            winners=tuple(grid.winners()),
-            winning_regions=tuple(grid.winning_regions()),
+        candidates_i, error_i = outcomes[i]
+        frontier = tuple(
+            labels[j] for j in range(len(labels)) if masks[i, j]
         )
+
+        def build(
+            index=index, key=key, value=value,
+            candidates_i=candidates_i, error_i=error_i, frontier=frontier,
+        ) -> CellOutcome:
+            fault_point("explore.cell", key=key)
+            if error_i is not None:
+                raise error_i
+            selected = select_candidates(candidates_i, spec.architectures)
+            analysis = ScenarioAnalysis(selected)
+            grid = duty_cycle_grid(analysis, spec.duty_cycle_steps)
+            return CellOutcome(
+                index=index,
+                value=value,
+                candidates=tuple(c.name for c in selected),
+                frontier=frontier,
+                winners=tuple(grid.winners()),
+                winning_regions=tuple(grid.winning_regions()),
+            )
+
+        outcome = _tolerant_cell(spec, index, value, key, build)
         archs = tuple(
             ArchSnapshot(
                 name=labels[j],
@@ -249,42 +406,54 @@ def _evaluate_cell_scalar(
     spec: ExploreSpec,
     index: int,
     config: DDCConfig,
+    key: Any = None,
 ) -> _CellData:
-    """One cell through the seed-shaped scalar paths (the oracle)."""
+    """One cell through the seed-shaped scalar paths (the oracle).
+
+    Shares the batch evaluator's failure policy and fault-site key
+    convention, so the two engines record byte-identical error cells.
+    """
     reports = []
     for model in models:
         try:
             reports.append(model.implement(config))
         except (ConfigurationError, MappingError):
             reports.append(None)
-    candidates = [
-        DDCEvaluator._candidate(r, spec.standby_fraction)
-        for r in reports
-        if r is not None and r.feasible
-    ]
-    candidates = DDCEvaluator._require_candidates(candidates, config)
-    selected = select_candidates(candidates, spec.architectures)
-    analysis = ScenarioAnalysis(selected)
-    steps = spec.duty_cycle_steps
-    results = [analysis.evaluate(i / (steps - 1)) for i in range(steps)]
     wanted = set(spec.architectures) if spec.architectures else None
     mask = frontier_scalar(reports, spec.objectives, wanted)
     value = spec.value_at(index)
-    outcome = CellOutcome(
-        index=index,
-        value=value,
-        candidates=tuple(c.name for c in selected),
-        frontier=tuple(
-            labels[j] for j in range(len(labels)) if mask[j]
-        ),
-        winners=tuple(r.winner for r in results),
-        winning_regions=tuple(
-            scalar_winner_regions(
-                [r.winner for r in results],
-                [r.duty_cycle for r in results],
-            )
-        ),
-    )
+    if key is None:
+        key = index
+
+    def build() -> CellOutcome:
+        fault_point("explore.cell", key=key)
+        candidates = [
+            DDCEvaluator._candidate(r, spec.standby_fraction)
+            for r in reports
+            if r is not None and r.feasible
+        ]
+        candidates = DDCEvaluator._require_candidates(candidates, config)
+        selected = select_candidates(candidates, spec.architectures)
+        analysis = ScenarioAnalysis(selected)
+        steps = spec.duty_cycle_steps
+        results = [analysis.evaluate(i / (steps - 1)) for i in range(steps)]
+        return CellOutcome(
+            index=index,
+            value=value,
+            candidates=tuple(c.name for c in selected),
+            frontier=tuple(
+                labels[j] for j in range(len(labels)) if mask[j]
+            ),
+            winners=tuple(r.winner for r in results),
+            winning_regions=tuple(
+                scalar_winner_regions(
+                    [r.winner for r in results],
+                    [r.duty_cycle for r in results],
+                )
+            ),
+        )
+
+    outcome = _tolerant_cell(spec, index, value, key, build)
     archs = tuple(
         ArchSnapshot(
             name=labels[j],
@@ -303,6 +472,7 @@ def run_explore(
     spec: ExploreSpec,
     engine: str = "adaptive",
     evaluator: DDCEvaluator | None = None,
+    store=None,
 ):
     """Explore the space; returns a :class:`~repro.explore.report.ExploreReport`.
 
@@ -312,10 +482,24 @@ def run_explore(
     work); ``engine="dense"`` defaults to a fresh uncached
     :class:`~repro.core.evaluator.DDCEvaluator` running the scalar
     oracle end to end.
+
+    ``store`` (a :class:`~repro.explore.store.ReportStore`, adaptive
+    engine only) arms **checkpoint/resume**: after every refinement
+    round the evaluated cells, pending set and counters are written to
+    the store in one atomic record (together with the report cache), and
+    a fresh call for the same space picks up exactly where a killed run
+    stopped.  Because the checkpoint round-trips cell state bit for bit
+    and refinement is a pure function of that state, a resumed run's
+    report is byte-identical to an uninterrupted one.  The checkpoint is
+    dropped when the exploration completes.
     """
     from .report import ExploreReport
 
     _check_engine(engine)
+    if store is not None and engine != "adaptive":
+        raise ConfigurationError(
+            "checkpoint/resume (store=) needs the adaptive engine"
+        )
     points = spec.points()
     if engine == "dense":
         ev = evaluator if evaluator is not None else DDCEvaluator()
@@ -332,6 +516,7 @@ def run_explore(
                 outcome, snapshot = _evaluate_cell_scalar(
                     ev.models, labels, spec, index,
                     spec.config_at(point, index),
+                    key=(point.index, index),
                 )
                 evaluations += 1
                 cells.append(outcome)
@@ -343,22 +528,41 @@ def run_explore(
                     tuple(cells), tuple(snapshots),
                 )
             )
+        _check_not_all_failed(spec, results)
         return ExploreReport(spec, results, evaluations)
 
     ev = evaluator if evaluator is not None else shared_evaluator()
-    evaluated: list[dict[int, _CellData]] = [{} for _ in points]
-    counts = [0] * len(points)
-    initial = sorted(set(spec.coarse_indices()) | set(spec.probe_indices()))
-    pending: list[tuple[int, int]] = [
-        (p, index) for p in range(len(points)) for index in initial
-    ]
-    evaluations = 0
+    checkpoint = (
+        store.load_checkpoint(spec, ev.models) if store is not None else None
+    )
+    if checkpoint is not None:
+        evaluated = [
+            {int(k): _cell_from_doc(v) for k, v in point_doc.items()}
+            for point_doc in checkpoint["evaluated"]
+        ]
+        counts = list(checkpoint["counts"])
+        pending = [(p, index) for p, index in checkpoint["pending"]]
+        evaluations = checkpoint["evaluations"]
+        round_no = checkpoint["round"]
+    else:
+        evaluated: list[dict[int, _CellData]] = [{} for _ in points]
+        counts = [0] * len(points)
+        initial = sorted(
+            set(spec.coarse_indices()) | set(spec.probe_indices())
+        )
+        pending = [
+            (p, index) for p in range(len(points)) for index in initial
+        ]
+        evaluations = 0
+        round_no = 0
     while pending:
+        fault_point("explore.round", key=round_no)
         configs = [
             spec.config_at(points[p], index) for p, index in pending
         ]
         data = _evaluate_cells_batch(
-            ev, spec, [index for _, index in pending], configs
+            ev, spec, [index for _, index in pending], configs,
+            keys=[(points[p].index, index) for p, index in pending],
         )
         for (p, index), cell in zip(pending, data):
             evaluated[p][index] = cell
@@ -383,6 +587,26 @@ def run_explore(
                     break
                 pending.append((p, (a + b) // 2))
                 queued += 1
+        round_no += 1
+        if store is not None:
+            store.save_checkpoint(
+                spec,
+                ev.models,
+                {
+                    "round": round_no,
+                    "evaluations": evaluations,
+                    "counts": list(counts),
+                    "evaluated": [
+                        {
+                            str(index): _cell_to_doc(cell)
+                            for index, cell in sorted(point_cells.items())
+                        }
+                        for point_cells in evaluated
+                    ],
+                    "pending": [[p, index] for p, index in pending],
+                },
+                cache=getattr(ev, "cache", None),
+            )
 
     coarse = spec.coarse_indices()
     results = []
@@ -411,4 +635,22 @@ def run_explore(
                 tuple(evaluated[p][k][1] for k in coarse),
             )
         )
+    _check_not_all_failed(spec, results)
+    if store is not None:
+        store.clear_checkpoint(spec, ev.models)
     return ExploreReport(spec, results, evaluations)
+
+
+def _check_not_all_failed(
+    spec: ExploreSpec, results: "list[PointExploration]"
+) -> None:
+    """An exploration where *every* cell failed helps nobody — raise."""
+    if spec.on_error == "raise":
+        return
+    if all(cell.failed for p in results for cell in p.cells):
+        first = results[0].cells[0].error
+        raise PartialResultError(
+            f"all {sum(len(p.cells) for p in results)} explore cell(s) "
+            f"failed under on_error={spec.on_error!r}; first error: "
+            f"{first[0]}: {first[1]}"
+        )

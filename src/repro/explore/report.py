@@ -41,6 +41,11 @@ class ExploreReport:
     points: list[PointExploration]
     evaluations: int = field(default=0, compare=False)
 
+    @property
+    def partial(self) -> bool:
+        """True when at least one cell carries a recorded failure."""
+        return any(cell.failed for p in self.points for cell in p.cells)
+
     def to_json_doc(self) -> dict:
         """The schema'd document (deterministic: no engine metadata)."""
         objective_names = self.spec.objectives
@@ -69,6 +74,7 @@ class ExploreReport:
                 }
                 for p in self.points
             ],
+            "partial": self.partial,
         }
 
     def to_json(self) -> str:
@@ -80,7 +86,7 @@ class ExploreReport:
         writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(
             ("point", "label", "axis_value", "candidates", "frontier",
-             "static_winner", "winning_regions")
+             "static_winner", "winning_regions", "error")
         )
         for p in self.points:
             for cell in p.cells:
@@ -96,6 +102,8 @@ class ExploreReport:
                             f"{repr(lo)}:{repr(hi)}:{name}"
                             for lo, hi, name in cell.winning_regions
                         ),
+                        "" if cell.error is None else
+                        f"{cell.error[0]}: {cell.error[1]}",
                     )
                 )
         return buf.getvalue()
@@ -125,6 +133,11 @@ class ExploreReport:
             f"[{lo:g} .. {hi:g}] "
             f"({self.evaluations} cells evaluated of {self.spec.n_cells})"
         ]
+        failed = sum(
+            1 for p in self.points for cell in p.cells if cell.failed
+        )
+        if failed:
+            lines[0] += f" (PARTIAL: {failed} cell(s) failed)"
         for p in self.points:
             lines.append(f"  [{p.index}] {p.label}")
             lines.append(

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..config import DDCConfig, REFERENCE_DDC
 from ..errors import ConfigurationError
+from ..resilience import check_on_error
 
 #: DDCConfig fields a discrete axis may range over.
 CONFIG_AXES: tuple[str, ...] = tuple(f.name for f in fields(DDCConfig))
@@ -113,6 +114,14 @@ class ExploreSpec:
         point beyond which bisection stops and remaining cells fill from
         their nearest evaluated neighbour (best effort — ``--verify``
         spaces run unbudgeted).
+    on_error:
+        Cell-failure policy (:data:`~repro.resilience.ON_ERROR_POLICIES`):
+        ``"raise"`` aborts on the first failing cell (strict default),
+        ``"skip"`` records the failure on the cell's error channel and
+        continues, ``"retry"`` retries the cell under
+        :data:`~repro.resilience.DEFAULT_RETRY` first and records it
+        only if every attempt fails.  Recorded failures mark the report
+        partial.
     """
 
     axis: tuple[str, float, float] = (
@@ -131,8 +140,10 @@ class ExploreSpec:
     probe_points: int = 0
     seed: int = 0
     max_evaluations: int | None = None
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
+        check_on_error(self.on_error)
         if len(self.axis) != 3:
             raise ConfigurationError(
                 f"axis must be (field, lo, hi), got {self.axis!r}"
@@ -313,4 +324,5 @@ class ExploreSpec:
             "probe_points": self.probe_points,
             "seed": self.seed,
             "max_evaluations": self.max_evaluations,
+            "on_error": self.on_error,
         }

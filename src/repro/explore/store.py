@@ -10,7 +10,11 @@ records —
   the cached :class:`~repro.errors.ConfigurationError` /
   :class:`~repro.errors.MappingError` (type + message);
 - ``frontier`` records: one exploration's rendered report document,
-  keyed by the digest of its search space.
+  keyed by the digest of its search space;
+- ``checkpoint`` records: one in-flight exploration's resume state
+  (evaluated cells, pending set, round counters), keyed the same way —
+  written after every adaptive round, dropped on completion.  Readers
+  ignore record kinds they do not know, so the schema stays ``v1``.
 
 **Content-hashed invalidation**: models are identified by the SHA-256
 digest of ``repr(model.cache_key())`` and configurations by their
@@ -46,6 +50,7 @@ from ..archs.base import (
 from ..core.evaluator import ReportCache
 from ..energy.technology import TechnologyNode
 from ..errors import ConfigurationError, MappingError
+from ..faults import fault_point
 from .spec import ExploreSpec
 
 SCHEMA = "repro-explore-store/v1"
@@ -118,60 +123,104 @@ class ReportStore:
     it already held and the cache's current entries, and frontier
     documents ride alongside keyed by :func:`space_digest`.
 
-    Writes are **atomic** (temp file + ``os.replace``), so a reader — or
-    a crash — never sees a torn file.  Concurrent writers are
-    last-merge-wins: each rewrites its own union of what it last read,
-    which converges for disjoint model sets but offers no cross-process
-    locking; serialise explorations that must share one store file.
+    Writes are **atomic** (temp file + fsync + ``os.replace``), so a
+    reader — or a crash — never sees a torn file through the normal
+    write path.  Should a torn or garbled file reach the store anyway
+    (a crashed non-atomic copy, disk corruption), reading **salvages**
+    it: every record line that still parses is kept, the bad lines are
+    quarantined to a ``<name>.quarantine`` sidecar for inspection, and
+    the next save rewrites a clean file.  A file whose *header* declares
+    a different schema is a real error and still raises.  Concurrent
+    writers are last-merge-wins: each rewrites its own union of what it
+    last read, which converges for disjoint model sets but offers no
+    cross-process locking; serialise explorations that must share one
+    store file.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        #: Bad lines quarantined by the most recent read (diagnostics).
+        self.last_salvaged = 0
 
     # ------------------------------------------------------------ raw file
-    def _read_records(self) -> tuple[dict, dict, dict]:
-        """(labels, reports, frontiers) keyed for dedup; tolerates a
-        missing file, rejects a foreign schema or undecodable content."""
+    @property
+    def quarantine_path(self) -> Path:
+        """Sidecar file collecting unparseable record lines."""
+        return self.path.with_name(self.path.name + ".quarantine")
+
+    def _quarantine(self, bad_lines: "list[str]") -> None:
+        """Append unparseable lines to the sidecar (best effort)."""
+        self.last_salvaged = len(bad_lines)
+        if not bad_lines:
+            return
+        try:
+            with self.quarantine_path.open("a") as fh:
+                for line in bad_lines:
+                    fh.write(line.rstrip("\n") + "\n")
+        except OSError:
+            pass
+
+    def _read_records(self) -> tuple[dict, dict, dict, dict]:
+        """(labels, reports, frontiers, checkpoints) keyed for dedup.
+
+        Tolerates a missing file; salvages a torn/garbled one (valid
+        lines kept, bad lines quarantined — see the class docstring);
+        a parseable header naming a foreign schema still raises.
+        """
         labels: dict[str, str] = {}
         reports: dict[tuple[str, str], dict] = {}
         frontiers: dict[str, dict] = {}
+        checkpoints: dict[str, dict] = {}
+        self.last_salvaged = 0
         if not self.path.exists():
-            return labels, reports, frontiers
+            return labels, reports, frontiers, checkpoints
+        with self.path.open() as fh:
+            lines = fh.readlines()
+        if not lines or not lines[0].strip():
+            return labels, reports, frontiers, checkpoints
         try:
-            with self.path.open() as fh:
-                header = fh.readline()
-                if not header.strip():
-                    return labels, reports, frontiers
-                head = json.loads(header)
-                if head.get("schema") != SCHEMA:
-                    raise ConfigurationError(
-                        f"{self.path}: unknown store schema "
-                        f"{head.get('schema')!r}"
-                    )
-                for line in fh:
-                    if not line.strip():
-                        continue
-                    record = json.loads(line)
-                    kind = record.get("kind")
-                    if kind == "label":
-                        labels[record["model"]] = record["architecture"]
-                    elif kind == "report":
-                        key = (
-                            record["model"], json.dumps(record["config"])
-                        )
-                        reports[key] = record
-                    elif kind == "frontier":
-                        frontiers[record["space"]] = record["doc"]
-        except (
-            json.JSONDecodeError, AttributeError, KeyError, TypeError
-        ) as exc:
+            head = json.loads(lines[0])
+            if not isinstance(head, dict):
+                raise TypeError("header is not an object")
+        except (json.JSONDecodeError, TypeError):
+            # A garbled header means nothing after it can be trusted to
+            # be this store's data: quarantine the whole file.
+            self._quarantine(lines)
+            return labels, reports, frontiers, checkpoints
+        if head.get("schema") != SCHEMA:
             raise ConfigurationError(
-                f"{self.path}: corrupt store record ({exc})"
-            ) from exc
-        return labels, reports, frontiers
+                f"{self.path}: unknown store schema {head.get('schema')!r}"
+            )
+        bad: list[str] = []
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                kind = record.get("kind")
+                if kind == "label":
+                    labels[record["model"]] = record["architecture"]
+                elif kind == "report":
+                    key = (record["model"], json.dumps(record["config"]))
+                    reports[key] = record
+                elif kind == "frontier":
+                    frontiers[record["space"]] = record["doc"]
+                elif kind == "checkpoint":
+                    checkpoints[record["space"]] = record["doc"]
+            except (
+                json.JSONDecodeError, AttributeError, KeyError, TypeError
+            ):
+                # Torn tail or foreign garbage: salvage what parsed.
+                bad.append(line)
+        self._quarantine(bad)
+        return labels, reports, frontiers, checkpoints
 
     def _write_records(
-        self, labels: dict, reports: dict, frontiers: dict
+        self,
+        labels: dict,
+        reports: dict,
+        frontiers: dict,
+        checkpoints: dict,
     ) -> None:
         lines = [json.dumps({"schema": SCHEMA})]
         for digest in sorted(labels):
@@ -198,16 +247,31 @@ class ReportStore:
                     sort_keys=True,
                 )
             )
+        for digest in sorted(checkpoints):
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "checkpoint",
+                        "space": digest,
+                        "doc": checkpoints[digest],
+                    },
+                    sort_keys=True,
+                )
+            )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic replace: a concurrent reader (or a crash mid-write)
         # sees either the old complete file or the new one, never a
-        # torn mix.
+        # torn mix.  The temp file is fsynced before the replace so the
+        # rename cannot outlive its contents across a power cut, and the
+        # directory entry is fsynced best-effort afterwards.
         fd, tmp_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as fh:
                 fh.write("\n".join(lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_name, self.path)
         except BaseException:
             try:
@@ -215,6 +279,20 @@ class ReportStore:
             except OSError:
                 pass
             raise
+        try:
+            dir_fd = os.open(self.path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
+        # Chaos site: a "torn" spec truncates the just-published file
+        # and raises, simulating a crash that corrupted the store tail —
+        # what the salvage path above must survive.
+        fault_point(
+            "store.write", key=self.path.name, path=str(self.path)
+        )
 
     # ------------------------------------------------------------- reports
     def load(
@@ -227,7 +305,7 @@ class ReportStore:
         another process's model set — are left untouched on disk and
         simply not loaded.
         """
-        labels, reports, _ = self._read_records()
+        labels, reports, _, _ = self._read_records()
         by_digest = {
             model_digest(m.cache_key()): m.cache_key() for m in models
         }
@@ -264,7 +342,16 @@ class ReportStore:
         cache's current entries (cache wins on conflict); entries whose
         error type falls outside the cache contract are skipped.
         """
-        labels, reports, frontiers = self._read_records()
+        labels, reports, frontiers, checkpoints = self._read_records()
+        self._merge_cache(labels, reports, cache)
+        self._write_records(labels, reports, frontiers, checkpoints)
+        return len(reports)
+
+    @staticmethod
+    def _merge_cache(
+        labels: dict, reports: dict, cache: ReportCache
+    ) -> None:
+        """Fold the cache's entries into (labels, reports), cache wins."""
         for model_key, label in cache.architecture_labels().items():
             labels[model_digest(model_key)] = label
         for model_key, config_key, report, error in cache.entries():
@@ -286,8 +373,6 @@ class ReportStore:
                     "message": str(error),
                 }
             reports[(digest, json.dumps(config_list))] = record
-        self._write_records(labels, reports, frontiers)
-        return len(reports)
 
     # ----------------------------------------------------------- frontiers
     def save_frontier(
@@ -297,15 +382,55 @@ class ReportStore:
         doc: dict,
     ) -> str:
         """Record one exploration's report document; returns its digest."""
-        labels, reports, frontiers = self._read_records()
+        labels, reports, frontiers, checkpoints = self._read_records()
         digest = space_digest(spec, models)
         frontiers[digest] = doc
-        self._write_records(labels, reports, frontiers)
+        self._write_records(labels, reports, frontiers, checkpoints)
         return digest
 
     def load_frontier(
         self, spec: ExploreSpec, models: Sequence[ArchitectureModel]
     ) -> dict | None:
         """The stored report document for this exact space, if any."""
-        _, _, frontiers = self._read_records()
+        _, _, frontiers, _ = self._read_records()
         return frontiers.get(space_digest(spec, models))
+
+    # --------------------------------------------------------- checkpoints
+    def save_checkpoint(
+        self,
+        spec: ExploreSpec,
+        models: Sequence[ArchitectureModel],
+        doc: dict,
+        cache: ReportCache | None = None,
+    ) -> str:
+        """Record one exploration round's resume state; returns its digest.
+
+        ``doc`` is the engine's checkpoint document (evaluated cells,
+        pending set, round counters — see
+        :func:`repro.explore.refine.run_explore`), keyed by
+        :func:`space_digest` so a model or spec change orphans it
+        harmlessly.  Passing ``cache`` folds the report cache into the
+        same atomic write, so a resumed run warm-starts both.
+        """
+        labels, reports, frontiers, checkpoints = self._read_records()
+        if cache is not None:
+            self._merge_cache(labels, reports, cache)
+        digest = space_digest(spec, models)
+        checkpoints[digest] = doc
+        self._write_records(labels, reports, frontiers, checkpoints)
+        return digest
+
+    def load_checkpoint(
+        self, spec: ExploreSpec, models: Sequence[ArchitectureModel]
+    ) -> dict | None:
+        """The stored resume state for this exact space, if any."""
+        _, _, _, checkpoints = self._read_records()
+        return checkpoints.get(space_digest(spec, models))
+
+    def clear_checkpoint(
+        self, spec: ExploreSpec, models: Sequence[ArchitectureModel]
+    ) -> None:
+        """Drop this space's resume state (the run completed)."""
+        labels, reports, frontiers, checkpoints = self._read_records()
+        if checkpoints.pop(space_digest(spec, models), None) is not None:
+            self._write_records(labels, reports, frontiers, checkpoints)

@@ -41,21 +41,41 @@ Guarantees, identical for both backends and unchanged by pool reuse:
 - exceptions propagate exactly as in the serial case (the first failing
   item raises when its result is consumed, in input order); a plain task
   exception leaves the pool alive and reusable.
+
+**Fault tolerance** is opt-in through ``retry=``: a
+:class:`~repro.resilience.RetryPolicy` switches the pooled path to
+per-item futures with per-task timeouts (``Future.result(timeout=...)``),
+deterministic exponential backoff between attempts (injectable
+``sleep``), and partial-result recovery on ``BrokenExecutor`` — the dead
+pool is evicted, a fresh one is built, and only the items that never
+finished are re-submitted, so completed work survives a worker kill.
+Results remain input-ordered and serial-identical; a task that exhausts
+its attempts raises :class:`~repro.errors.TaskFailedError` (lowest
+failing index first) with the underlying error as ``__cause__``.  A
+worker death necessarily loses track of *which* in-flight item killed
+it, so every unfinished item is charged one attempt per rebuild — the
+attempt budget still bounds repeated kills.
 """
 
 from __future__ import annotations
 
 import atexit
 import threading
+import time
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
+from concurrent.futures import (
+    TimeoutError as FuturesTimeoutError,
+)
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, TaskFailedError
+from .resilience import RetryPolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -104,8 +124,9 @@ def shutdown(wait: bool = True) -> int:
     """Tear down every persistent pool; returns how many were closed.
 
     Safe to call at any time — the next :func:`parallel_map` that needs a
-    pool simply builds a fresh one.  Registered with :mod:`atexit` so
-    leftover process pools never outlive the interpreter.
+    pool simply builds a fresh one.  Explicit calls default to
+    ``wait=True``; the :mod:`atexit` hook uses ``wait=False`` so a
+    wedged worker cannot hang interpreter exit.
     """
     closed = 0
     while True:
@@ -117,7 +138,20 @@ def shutdown(wait: bool = True) -> int:
         closed += 1
 
 
-atexit.register(shutdown)
+def _shutdown_at_exit() -> None:
+    """Interpreter-exit teardown: never wait on (possibly wedged) workers."""
+    shutdown(wait=False)
+
+
+atexit.register(_shutdown_at_exit)
+
+
+def _evict_pool(backend: str, workers: int) -> None:
+    """Drop a (broken) pool from the registry and shut its carcass down."""
+    with _POOLS_LOCK:
+        evicted = _POOLS.pop((backend, workers), None)
+    if evicted is not None:
+        evicted.shutdown(wait=False)
 
 
 def parallel_map(
@@ -125,6 +159,8 @@ def parallel_map(
     items: Iterable[T],
     workers: int | None = None,
     backend: str = "thread",
+    retry: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> list[R]:
     """``[fn(x) for x in items]`` with an optional persistent executor pool.
 
@@ -135,6 +171,14 @@ def parallel_map(
     the module docstring).  The executor comes from the per-process
     registry (:func:`get_pool`) and stays alive for the next call with
     the same knobs.
+
+    ``retry`` (a :class:`~repro.resilience.RetryPolicy`) arms the
+    fault-tolerant path: per-task timeouts, deterministic backoff via
+    the injectable ``sleep``, and ``BrokenExecutor`` recovery that keeps
+    completed results and re-submits only unfinished items (see the
+    module docstring).  With ``retry=None`` behaviour is exactly the
+    original contract — first failure propagates, a broken pool is
+    evicted and the error raised.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
@@ -148,7 +192,19 @@ def parallel_map(
     if not seq:
         return []
     if not workers or workers <= 1 or len(seq) == 1:
-        return [fn(x) for x in seq]
+        if retry is None:
+            return [fn(x) for x in seq]
+        from .resilience import call_with_retry
+
+        return [
+            call_with_retry(
+                lambda x=x: fn(x), retry, sleep=sleep,
+                label=f"item {i}",
+            )
+            for i, x in enumerate(seq)
+        ]
+    if retry is not None:
+        return _map_with_retry(fn, seq, workers, backend, retry, sleep)
     pool = get_pool(backend, workers)
     try:
         if backend == "process":
@@ -164,8 +220,93 @@ def parallel_map(
         # Workers died (e.g. killed mid-task): shut the carcass down and
         # evict it so the next call rebuilds a healthy pool, then
         # surface the failure.
-        with _POOLS_LOCK:
-            evicted = _POOLS.pop((backend, workers), None)
-        if evicted is not None:
-            evicted.shutdown(wait=False)
+        _evict_pool(backend, workers)
         raise
+
+
+def _map_with_retry(
+    fn: Callable[[T], R],
+    seq: Sequence[T],
+    workers: int,
+    backend: str,
+    policy: RetryPolicy,
+    sleep: Callable[[float], None],
+) -> list[R]:
+    """The fault-tolerant pooled map (see :func:`parallel_map`).
+
+    Every item is submitted as its own future (no chunking — a chunk
+    would couple innocent items to a poison neighbour's fate), results
+    are consumed strictly in input order, and failures are handled
+    per item:
+
+    - a task exception or a ``timeout_s`` expiry charges the item one
+      attempt, backs off deterministically, and re-submits it;
+    - ``BrokenExecutor`` evicts the dead pool, builds a fresh one and
+      re-submits every item whose result was not already safely
+      completed, charging each one attempt (the killer is anonymous);
+    - an item that exhausts ``max_attempts`` raises
+      :class:`~repro.errors.TaskFailedError` from its last error, at the
+      lowest failing index — deterministic, like serial propagation.
+    """
+    pool = get_pool(backend, workers)
+    n = len(seq)
+    futures: list[Future] = [pool.submit(fn, seq[i]) for i in range(n)]
+    attempts = [0] * n
+    results: list[R] = [None] * n  # type: ignore[list-item]
+
+    def fail(index: int, exc: Exception) -> Exception | None:
+        """Charge one attempt; returns the terminal error if exhausted."""
+        attempts[index] += 1
+        if attempts[index] >= policy.max_attempts:
+            return TaskFailedError(
+                f"item {index} failed on every one of "
+                f"{attempts[index]} attempt(s): {exc}",
+                attempts=attempts[index],
+            )
+        return None
+
+    i = 0
+    while i < n:
+        try:
+            results[i] = futures[i].result(timeout=policy.timeout_s)
+            i += 1
+            continue
+        except BrokenExecutor as exc:
+            terminal = fail(i, exc)
+            if terminal is not None:
+                _evict_pool(backend, workers)
+                raise terminal from exc
+            _evict_pool(backend, workers)
+            pool = get_pool(backend, workers)
+            # Keep every result that is already safely complete (their
+            # futures resolved before the pool died); re-submit the rest.
+            # The current item was charged above; other unfinished items
+            # are charged when their own result() observes the break —
+            # except they never will, because we replace their futures
+            # here.  Charge them now instead.
+            for j in range(i + 1, n):
+                f = futures[j]
+                if f.done() and f.exception() is None:
+                    continue
+                terminal_j = fail(j, exc)
+                if terminal_j is not None:
+                    raise terminal_j from exc
+                futures[j] = pool.submit(fn, seq[j])
+            sleep(policy.delay_s(attempts[i]))
+            futures[i] = pool.submit(fn, seq[i])
+            continue
+        except FuturesTimeoutError as exc:
+            futures[i].cancel()
+            terminal = fail(i, exc)
+            if terminal is not None:
+                raise terminal from TimeoutError(
+                    f"item {i} exceeded the per-task timeout of "
+                    f"{policy.timeout_s}s"
+                )
+        except Exception as exc:
+            terminal = fail(i, exc)
+            if terminal is not None:
+                raise terminal from exc
+        sleep(policy.delay_s(attempts[i]))
+        futures[i] = pool.submit(fn, seq[i])
+    return results

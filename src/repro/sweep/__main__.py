@@ -59,6 +59,7 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
         duty_cycle_steps=args.steps,
         architectures=architectures,
         standby_fraction=args.standby_fraction,
+        on_error=args.on_error,
     )
 
 
@@ -105,6 +106,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default="-", metavar="PATH",
         help="report path, '-' = stdout (default: stdout)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        help="point-failure policy: raise = abort on the first failure, "
+        "skip = record it and continue, retry = retry the point first "
+        "and record only if every attempt fails; a report with recorded "
+        "failures is marked partial and exits with status 3 "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--summary", action="store_true",
@@ -165,6 +174,13 @@ def main(argv: list[str] | None = None) -> int:
             report.write(args.output, args.format)
             if args.output != "-":
                 print(f"wrote {args.output}")
+        if report.partial:
+            print(
+                f"warning: partial report — {len(report.failures)} "
+                f"point(s) failed under --on-error {spec.on_error}",
+                file=sys.stderr,
+            )
+            return 3
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

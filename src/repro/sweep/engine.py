@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import functools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -47,8 +47,15 @@ from ..energy.scenarios import (
     duty_cycle_crossover_batch,
     duty_grid,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, PartialResultError
+from ..faults import fault_point
 from ..parallel import parallel_map
+from ..resilience import (
+    DEFAULT_RETRY,
+    call_with_retry,
+    failure_attempts,
+    failure_cause,
+)
 from .spec import SweepPoint, SweepSpec
 
 #: Engines accepted by :func:`evaluate_point` / :func:`run_sweep`.
@@ -94,6 +101,46 @@ class PointResult:
             "crossovers": [list(c) for c in self.crossovers],
             "static_winner": self.static_winner,
         }
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One grid point's recorded failure (picklable, JSON-ready).
+
+    Produced under ``on_error="skip"``/``"retry"`` instead of aborting
+    the sweep: the *underlying* error (never the retry wrapper) is
+    recorded by type name and message.  ``attempts`` counts how often
+    the point ran; it is deliberately excluded from comparison and from
+    the JSON document — reports must stay a pure function of the spec
+    and the outcomes, identical across engines and backends.
+    """
+
+    index: int
+    label: str
+    overrides: tuple[tuple[str, Any], ...]
+    error_type: str
+    message: str
+    attempts: int = field(default=1, compare=False)
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "overrides": {k: v for k, v in self.overrides},
+            "error": {"type": self.error_type, "message": self.message},
+        }
+
+
+def _point_failure(point: SweepPoint, exc: Exception) -> PointFailure:
+    cause = failure_cause(exc)
+    return PointFailure(
+        index=point.index,
+        label=point.label(),
+        overrides=point.overrides,
+        error_type=type(cause).__name__,
+        message=str(cause),
+        attempts=failure_attempts(exc),
+    )
 
 
 def duty_cycle_grid(analysis: ScenarioAnalysis, steps: int) -> ScenarioGrid:
@@ -209,6 +256,7 @@ def _point_result(
     engine: str,
 ) -> PointResult:
     """The duty-cycle x candidate grid of one point, either engine."""
+    fault_point("sweep.point", key=point.index)
     analysis = ScenarioAnalysis(candidates)
     steps = spec.duty_cycle_steps
     names = analysis.names
@@ -262,6 +310,50 @@ def _point_result(
     )
 
 
+def _evaluate_prepared_tolerant(
+    spec: SweepSpec,
+    engine: str,
+    item: "tuple[SweepPoint, list | None, Exception | None]",
+) -> "PointResult | PointFailure":
+    """Fault-tolerant grid math (pool task for ``on_error != "raise"``).
+
+    ``item`` carries either the point's pre-batched candidates or the
+    candidate-phase error that already doomed it.  Candidate-phase errors
+    are deterministic model verdicts — retrying cannot change them — so
+    they are recorded directly; grid-math failures are retried under
+    :data:`~repro.resilience.DEFAULT_RETRY` when the policy says so.
+    """
+    point, candidates, error = item
+    if error is not None:
+        return _point_failure(point, error)
+    try:
+        if spec.on_error == "retry":
+            return call_with_retry(
+                lambda: _point_result(spec, point, candidates, engine),
+                DEFAULT_RETRY,
+                label=f"sweep point {point.index}",
+            )
+        return _point_result(spec, point, candidates, engine)
+    except Exception as exc:  # noqa: BLE001 — the error channel records it
+        return _point_failure(point, exc)
+
+
+def _evaluate_point_tolerant(
+    spec: SweepSpec, engine: str, point: SweepPoint
+) -> "PointResult | PointFailure":
+    """Fault-tolerant whole-point evaluation (scalar-engine pool task)."""
+    try:
+        if spec.on_error == "retry":
+            return call_with_retry(
+                lambda: evaluate_point(spec, point, engine),
+                DEFAULT_RETRY,
+                label=f"sweep point {point.index}",
+            )
+        return evaluate_point(spec, point, engine)
+    except Exception as exc:  # noqa: BLE001 — the error channel records it
+        return _point_failure(point, exc)
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int | None = None,
@@ -280,28 +372,98 @@ def run_sweep(
     the seed shape — a fresh evaluator running scalar ``implement`` per
     point.  Every combination of knobs returns byte-identical reports in
     point order.
+
+    ``spec.on_error`` selects the failure policy: ``"raise"`` keeps the
+    strict first-failure-aborts contract; ``"skip"``/``"retry"`` record
+    failing points on the report's error channel instead (see
+    :class:`PointFailure`) and mark the report partial.  Under
+    ``"retry"`` the pooled map additionally arms
+    :func:`~repro.parallel.parallel_map`'s ``BrokenExecutor`` recovery,
+    so a killed process-pool worker costs re-submission, not the sweep.
+    If *every* point fails, :class:`~repro.errors.PartialResultError` is
+    raised — an all-failure "report" helps nobody.
     """
     from .report import SweepReport
 
     _check_engine(engine)
     points = spec.points()
+    tolerant = spec.on_error != "raise"
+    pool_retry = DEFAULT_RETRY if spec.on_error == "retry" else None
     if engine == "batch":
         configs = [spec.config_at(p) for p in points]
-        per_point = shared_evaluator().scenario_candidates_batch(
-            configs, spec.standby_fraction, strict=False
-        )
-        items = [
-            (point, select_candidates(candidates, spec.architectures))
-            for point, candidates in zip(points, per_point)
-        ]
-        task = functools.partial(_evaluate_prepared_point, spec, engine)
-        results = parallel_map(
-            task, items, workers=workers, backend=backend
-        )
+        per_point = _candidate_outcomes(spec, configs, tolerant)
+        if tolerant:
+            items = []
+            for point, (candidates, error) in zip(points, per_point):
+                if error is None:
+                    try:
+                        items.append((
+                            point,
+                            select_candidates(candidates, spec.architectures),
+                            None,
+                        ))
+                    except ConfigurationError as exc:
+                        items.append((point, None, exc))
+                else:
+                    items.append((point, None, error))
+            task = functools.partial(
+                _evaluate_prepared_tolerant, spec, engine
+            )
+            raw = parallel_map(
+                task, items, workers=workers, backend=backend,
+                retry=pool_retry,
+            )
+        else:
+            items = [
+                (point, select_candidates(candidates, spec.architectures))
+                for point, (candidates, _) in zip(points, per_point)
+            ]
+            task = functools.partial(_evaluate_prepared_point, spec, engine)
+            raw = parallel_map(
+                task, items, workers=workers, backend=backend
+            )
     else:
-        task = functools.partial(evaluate_point, spec, engine=engine)
-        results = parallel_map(
-            task, points, workers=workers, backend=backend
+        if tolerant:
+            task = functools.partial(_evaluate_point_tolerant, spec, engine)
+        else:
+            task = functools.partial(evaluate_point, spec, engine=engine)
+        raw = parallel_map(
+            task, points, workers=workers, backend=backend,
+            retry=pool_retry,
+        )
+    results = [r for r in raw if isinstance(r, PointResult)]
+    failures = tuple(r for r in raw if isinstance(r, PointFailure))
+    if failures and not results:
+        raise PartialResultError(
+            f"all {len(failures)} sweep point(s) failed under "
+            f"on_error={spec.on_error!r}; first error: "
+            f"{failures[0].error_type}: {failures[0].message}"
         )
     duty = tuple(float(d) for d in np.asarray(spec.duty_cycles()))
-    return SweepReport(spec=spec, duty_cycles=duty, points=results)
+    return SweepReport(
+        spec=spec, duty_cycles=duty, points=results, failures=failures
+    )
+
+
+def _candidate_outcomes(
+    spec: SweepSpec, configs: list, tolerant: bool
+) -> "list[tuple[list | None, Exception | None]]":
+    """Per-config ``(candidates, error)`` outcomes for the batch engine.
+
+    The strict path keeps the original single-shot
+    ``scenario_candidates_batch`` call (any model error aborts, as
+    before); the tolerant path captures per-config errors instead of
+    raising so one broken configuration cannot take the axis down.
+    """
+    ev = shared_evaluator()
+    if not tolerant:
+        return [
+            (candidates, None)
+            for candidates in ev.scenario_candidates_batch(
+                configs, spec.standby_fraction, strict=False
+            )
+        ]
+    batches = ev.report_batches(configs)
+    return ev.scenario_candidate_outcomes_from_batches(
+        batches, configs, spec.standby_fraction
+    )

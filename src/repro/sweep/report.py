@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import ConfigurationError
-from .engine import PointResult
+from .engine import PointFailure, PointResult
 from .spec import SweepSpec
 
 SCHEMA = "repro-sweep/v1"
@@ -28,11 +28,23 @@ FORMATS = ("json", "csv")
 
 @dataclass(frozen=True)
 class SweepReport:
-    """All grid points of one sweep, in point order."""
+    """All grid points of one sweep, in point order.
+
+    ``failures`` is the error channel filled under
+    ``on_error="skip"``/``"retry"`` — points whose evaluation failed,
+    recorded instead of evaluated.  A report with failures is *partial*
+    and says so explicitly in its JSON document and summary.
+    """
 
     spec: SweepSpec
     duty_cycles: tuple[float, ...]
     points: list[PointResult]
+    failures: tuple[PointFailure, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one grid point failed and was recorded."""
+        return bool(self.failures)
 
     def to_json_doc(self) -> dict:
         """The schema'd document (deterministic: no engine/host metadata)."""
@@ -41,6 +53,8 @@ class SweepReport:
             "spec": self.spec.describe(),
             "duty_cycles": list(self.duty_cycles),
             "points": [p.to_json() for p in self.points],
+            "failures": [f.to_json() for f in self.failures],
+            "partial": self.partial,
         }
 
     def to_json(self) -> str:
@@ -85,8 +99,15 @@ class SweepReport:
             f"{len(self.points)} configuration point(s) x "
             f"{len(self.duty_cycles)} duty cycles"
         ]
+        if self.partial:
+            lines[0] += f" (PARTIAL: {len(self.failures)} point(s) failed)"
         for p in self.points:
             lines.append(f"  [{p.index}] {p.label}")
             for lo, hi, name in p.winning_regions:
                 lines.append(f"      {lo:7.2%} .. {hi:7.2%}  {name}")
+        for f in self.failures:
+            lines.append(
+                f"  [{f.index}] {f.label}  FAILED "
+                f"({f.error_type}: {f.message})"
+            )
         return "\n".join(lines)

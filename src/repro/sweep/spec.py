@@ -21,6 +21,7 @@ import numpy as np
 from ..config import DDCConfig, REFERENCE_DDC
 from ..energy.scenarios import duty_grid
 from ..errors import ConfigurationError
+from ..resilience import check_on_error
 
 #: DDCConfig fields a sweep axis may range over.
 CONFIG_AXES: tuple[str, ...] = tuple(
@@ -66,6 +67,14 @@ class SweepSpec:
         feasible architectures).
     standby_fraction:
         Idle power of fixed-function chips as a fraction of active power.
+    on_error:
+        Cell-failure policy (:data:`~repro.resilience.ON_ERROR_POLICIES`):
+        ``"raise"`` aborts on the first failing point (strict default),
+        ``"skip"`` records the failure on the report's error channel and
+        continues, ``"retry"`` retries the point under
+        :data:`~repro.resilience.DEFAULT_RETRY` first and records it
+        only if every attempt fails.  Skipped/exhausted failures mark
+        the report partial.
     """
 
     axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
@@ -73,8 +82,10 @@ class SweepSpec:
     duty_cycle_steps: int = 101
     architectures: tuple[str, ...] | None = None
     standby_fraction: float = 0.05
+    on_error: str = "raise"
 
     def __post_init__(self) -> None:
+        check_on_error(self.on_error)
         seen: set[str] = set()
         for axis in self.axes:
             if len(axis) != 2:
@@ -169,4 +180,5 @@ class SweepSpec:
                 list(self.architectures) if self.architectures else None
             ),
             "standby_fraction": self.standby_fraction,
+            "on_error": self.on_error,
         }

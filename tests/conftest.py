@@ -8,6 +8,14 @@ import pytest
 from repro.config import REFERENCE_DDC
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faults: chaos suite — deterministic fault injection against the "
+        "execution layer (run with `pytest -m faults`)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""

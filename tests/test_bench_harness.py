@@ -65,12 +65,13 @@ class TestRegressionCheck:
 
     def test_default_guard_covers_every_fast_path(self):
         """CI guards the architecture fast paths, the batched sweep, the
-        batched model layer and the adaptive explorer."""
+        batched model layer, the adaptive explorer and the
+        fault-tolerant sweep path."""
         from repro.bench.report import GUARDED_BENCHES
 
         assert GUARDED_BENCHES == (
             "rtl_ddc", "gpp_ddc", "montium_ddc", "scenario_sweep",
-            "evaluator_batch", "explore_frontier",
+            "evaluator_batch", "explore_frontier", "sweep_faulty",
         )
         # every guarded bench must be present on both sides, or the
         # guard fails

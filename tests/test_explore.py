@@ -332,16 +332,30 @@ class TestReportStore:
         with pytest.raises(ConfigurationError, match="schema"):
             ReportStore(path).load(ReportCache(), default_models())
 
-    def test_corrupt_store_is_a_library_error(self, tmp_path):
-        """A torn/truncated file surfaces as ConfigurationError (the
-        CLI's clean exit path), not a raw JSONDecodeError."""
+    def test_corrupt_store_is_salvaged(self, tmp_path):
+        """A torn/truncated tail no longer poisons the store: the valid
+        prefix loads, the bad line is quarantined to the sidecar."""
         path = tmp_path / "store.jsonl"
         path.write_text(
             json.dumps({"schema": "repro-explore-store/v1"})
             + "\n{\"kind\": \"report\", \"model\""
         )
-        with pytest.raises(ConfigurationError, match="corrupt"):
-            ReportStore(path).load(ReportCache(), default_models())
+        store = ReportStore(path)
+        assert store.load(ReportCache(), default_models()) == 0
+        assert store.last_salvaged == 1
+        assert store.quarantine_path.exists()
+        assert store.quarantine_path.read_text().startswith(
+            "{\"kind\": \"report\""
+        )
+
+    def test_garbled_header_is_quarantined(self, tmp_path):
+        """A file whose header is not even JSON reads as empty; its
+        whole contents are quarantined for inspection."""
+        path = tmp_path / "store.jsonl"
+        path.write_text("definitely not json\n{\"kind\": \"label\"}\n")
+        store = ReportStore(path)
+        assert store.load(ReportCache(), default_models()) == 0
+        assert store.last_salvaged == 2
 
     def test_save_leaves_no_temp_droppings(self, tmp_path):
         cache = ReportCache()

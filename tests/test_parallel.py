@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TaskFailedError
 from repro.parallel import parallel_map
+from repro.resilience import RetryPolicy
 
 
 def _square_mod(x):
@@ -24,6 +26,49 @@ def _boom_on_two(x):
     if x == 2:
         raise ValueError("item 2")
     return x
+
+
+def _die_on_three(x):
+    """Kill the worker process outright (BrokenExecutor for the pool)."""
+    if x == 3:
+        os._exit(13)
+    return x * 10
+
+
+def _die_once_marker(args):
+    """Kill the worker the first time item 3 is seen, via a marker file
+    (the killed worker cannot remember having fired)."""
+    x, scratch = args
+    if x == 3:
+        marker = os.path.join(scratch, "died-once")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return x * 10
+        os.close(fd)
+        os._exit(13)
+    return x * 10
+
+
+def _slow_item_two(x):
+    if x == 2:
+        time.sleep(0.8)
+    return x + 1
+
+
+def _flaky_square(args):
+    """Fail item 2 the first N times, via marker files in scratch."""
+    x, scratch, n_failures = args
+    if x == 2:
+        for n in range(n_failures):
+            marker = os.path.join(scratch, f"flaky-{n}")
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            raise ValueError("transient failure")
+    return _square_mod(x)
 
 
 class TestParallelMap:
@@ -202,3 +247,118 @@ class TestPersistentPools:
             get_pool("fiber", 2)
         with pytest.raises(ConfigurationError, match="workers"):
             get_pool("thread", 0)
+
+    def test_broken_pool_is_evicted_and_rebuilt(self, tmp_path):
+        """A worker death mid-map (no retry armed) surfaces the error,
+        evicts the carcass, and the next call gets a healthy pool."""
+        from concurrent.futures import BrokenExecutor
+
+        from repro import parallel
+
+        parallel.shutdown()
+        with pytest.raises(BrokenExecutor):
+            parallel_map(_die_on_three, range(8), workers=2,
+                         backend="process")
+        # The dead pool must be gone, not poisoning the registry.
+        assert ("process", 2) not in parallel._POOLS
+        # And a fresh call simply works.
+        got = parallel_map(_square_mod, range(8), workers=2,
+                           backend="process")
+        assert got == [_square_mod(x) for x in range(8)]
+        parallel.shutdown()
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.5,
+                             backoff_factor=2.0)
+        assert policy.delays() == (0.5, 1.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+
+    def test_serial_retry_recovers_and_records_backoff(self, tmp_path):
+        from repro.faults import RecordingSleep
+
+        sleep = RecordingSleep()
+        got = parallel_map(
+            _flaky_square,
+            [(x, str(tmp_path), 1) for x in range(4)],
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.25),
+            sleep=sleep,
+        )
+        assert got == [_square_mod(x) for x in range(4)]
+        assert sleep.calls == [0.25]  # one failure, one backoff
+
+    def test_serial_retry_exhaustion_raises_task_failed(self, tmp_path):
+        with pytest.raises(TaskFailedError) as info:
+            parallel_map(
+                _flaky_square,
+                [(x, str(tmp_path), 99) for x in range(4)],
+                retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            )
+        assert info.value.attempts == 2
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_pooled_retry_recovers_flaky_item(self, tmp_path):
+        from repro import parallel
+        from repro.faults import RecordingSleep
+
+        parallel.shutdown()
+        sleep = RecordingSleep()
+        got = parallel_map(
+            _flaky_square,
+            [(x, str(tmp_path), 2) for x in range(6)],
+            workers=3,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.125),
+            sleep=sleep,
+        )
+        assert got == [_square_mod(x) for x in range(6)]
+        assert sleep.calls == [0.125, 0.25]  # exponential, deterministic
+        parallel.shutdown()
+
+    def test_pooled_retry_exhaustion_raises_task_failed(self, tmp_path):
+        from repro import parallel
+
+        parallel.shutdown()
+        with pytest.raises(TaskFailedError) as info:
+            parallel_map(
+                _flaky_square,
+                [(x, str(tmp_path), 99) for x in range(6)],
+                workers=3,
+                retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+            )
+        assert info.value.attempts == 3
+        parallel.shutdown()
+
+    def test_per_task_timeout_raises_task_failed(self):
+        from repro import parallel
+
+        parallel.shutdown()
+        with pytest.raises(TaskFailedError) as info:
+            parallel_map(
+                _slow_item_two, range(4), workers=4,
+                retry=RetryPolicy(max_attempts=2, backoff_s=0.0,
+                                  timeout_s=0.1),
+            )
+        assert isinstance(info.value.__cause__, TimeoutError)
+        parallel.shutdown(wait=False)
+
+    def test_worker_kill_keeps_completed_results(self, tmp_path):
+        """BrokenExecutor recovery: the pool is rebuilt and only the
+        unfinished items re-run; results stay serial-identical."""
+        from repro import parallel
+
+        parallel.shutdown()
+        items = [(x, str(tmp_path)) for x in range(10)]
+        got = parallel_map(
+            _die_once_marker, items, workers=2, backend="process",
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        )
+        assert got == [x * 10 for x in range(10)]
+        parallel.shutdown()
