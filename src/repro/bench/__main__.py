@@ -11,8 +11,8 @@ import argparse
 import sys
 
 from ..errors import ConfigurationError
-from .report import check_regression, load_report, write_report
-from .runner import run_dsp_suite
+from .report import GUARDED_BENCHES, check_regression, load_report, write_report
+from .runner import BENCH_NAMES, run_dsp_suite
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -23,6 +23,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true",
         help="smaller inputs / fewer repeats (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--only", metavar="BENCH[,BENCH...]",
+        help="run only the named benches (known: %s); a partial run "
+        "writes bench-measured.json unless --output is given explicitly"
+        % ", ".join(BENCH_NAMES),
     )
     parser.add_argument(
         "--output", default="BENCH_dsp.json",
@@ -40,6 +46,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    only = None
+    if args.only:
+        only = {b.strip() for b in args.only.split(",") if b.strip()}
+        if not only:
+            print("--only: no bench names given", file=sys.stderr)
+            return 2
+        unknown = sorted(only - set(BENCH_NAMES))
+        if unknown:
+            print(
+                f"--only: unknown bench name(s): {', '.join(unknown)} "
+                f"(known: {', '.join(BENCH_NAMES)})",
+                file=sys.stderr,
+            )
+            return 2
+
     committed = None
     if args.check:
         # Validate the baseline before spending minutes measuring.
@@ -49,7 +70,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot use baseline {args.check}: {exc}", file=sys.stderr)
             return 2
 
-    results = run_dsp_suite(quick=args.quick, progress=lambda m: print(m, flush=True))
+    results = run_dsp_suite(
+        quick=args.quick,
+        progress=lambda m: print(m, flush=True),
+        only=only,
+    )
 
     print()
     for name, r in sorted(results.items()):
@@ -70,8 +95,13 @@ def main(argv: list[str] | None = None) -> int:
             out = "bench-measured.json"
         write_report(out, results, quick=args.quick)
         print(f"\nwrote {out}")
+        guard_names = GUARDED_BENCHES
+        if only is not None:
+            # A deliberate partial run can only check what it measured.
+            guard_names = tuple(b for b in GUARDED_BENCHES if b in only)
         failures = check_regression(
-            results, committed, max_regression=args.max_regression
+            results, committed,
+            names=guard_names, max_regression=args.max_regression,
         )
         if failures:
             print("\nREGRESSION CHECK FAILED:", file=sys.stderr)
@@ -81,8 +111,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"regression check against {args.check}: OK")
         return 0
 
-    write_report(args.output, results, quick=args.quick)
-    print(f"\nwrote {args.output}")
+    out = args.output
+    if only is not None and out == "BENCH_dsp.json":
+        # Never clobber the committed full report with a partial run.
+        out = "bench-measured.json"
+    write_report(out, results, quick=args.quick)
+    print(f"\nwrote {out}")
     return 0
 
 

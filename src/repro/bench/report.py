@@ -57,12 +57,19 @@ def load_report(path: str | Path) -> dict:
     return doc
 
 
-#: Benches guarded by CI: every architecture's fast path, the batched
-#: scenario-sweep grid of ``repro.sweep``, the batched
-#: architecture-model layer (``implement_batch`` vs the scalar loop),
-#: the adaptive design-space explorer of ``repro.explore`` and the
-#: fault-tolerant sweep path (retry recovery under injection).
+#: Benches guarded by CI: the streaming DSP front end's compiled kernel
+#: tier (nco/cic/fir/fixed_ddc and the generated ``Simulator.step``
+#: loop), every architecture's fast path, the batched scenario-sweep
+#: grid of ``repro.sweep``, the batched architecture-model layer
+#: (``implement_batch`` vs the scalar loop), the adaptive design-space
+#: explorer of ``repro.explore`` and the fault-tolerant sweep path
+#: (retry recovery under injection).
 GUARDED_BENCHES = (
+    "nco",
+    "cic",
+    "fir",
+    "fixed_ddc",
+    "sim_step",
     "rtl_ddc",
     "gpp_ddc",
     "montium_ddc",

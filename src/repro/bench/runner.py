@@ -29,6 +29,23 @@ from ..simkernel import ClockDomain, Component, Simulator, Wire
 FULL_SAMPLES = 2688 * 32
 QUICK_SAMPLES = 2688 * 4
 
+#: Every bench name the suite can produce (validates ``--only``).
+BENCH_NAMES = (
+    "nco",
+    "cic",
+    "fir",
+    "ddc_gold",
+    "fixed_ddc",
+    "rtl_ddc",
+    "sim_step",
+    "gpp_ddc",
+    "montium_ddc",
+    "scenario_sweep",
+    "evaluator_batch",
+    "explore_frontier",
+    "sweep_faulty",
+)
+
 
 @dataclass
 class BenchResult:
@@ -135,10 +152,29 @@ def _seed_step(sim: Simulator, cycles: int) -> None:
         sim.cycle += 1
 
 
-def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
-    """Run every bench; returns results keyed by bench name."""
+def run_dsp_suite(
+    quick: bool = False, progress=None, only: set[str] | None = None
+) -> dict[str, BenchResult]:
+    """Run every bench; returns results keyed by bench name.
+
+    ``only`` restricts the run to the named benches (see
+    :data:`BENCH_NAMES`); ``None`` runs everything.
+    """
     from ..archs.fpga.rtl_ddc import RTLDDC
     from ..archs.gpp.profiler import profile_ddc
+
+    if only is not None:
+        unknown = sorted(set(only) - set(BENCH_NAMES))
+        if unknown:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown bench name(s): {', '.join(unknown)} "
+                f"(expected among {', '.join(BENCH_NAMES)})"
+            )
+
+    def want(name: str) -> bool:
+        return only is None or name in only
 
     n = QUICK_SAMPLES if quick else FULL_SAMPLES
     # The vectorised benches cost milliseconds: many repeats (best-of) cost
@@ -186,146 +222,187 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
 
     from .seed_paths import seed_fixed_cic_process, seed_fixed_fir_process
 
-    nco = NCO(cfg.input_rate_hz, cfg.nco_frequency_hz)
-    add("nco", lambda: nco.generate(n), n,
-        baseline_fn=lambda: nco.generate(n),
-        notes="vectorised LUT NCO; path unchanged since seed")
+    # The five streaming benches below are guarded (GUARDED_BENCHES), so
+    # they always run the full reference input even in --quick: quick-mode
+    # CI numbers must stay comparable to the committed file.  All are
+    # vectorised and cost milliseconds.  The fast path is the fused kernel
+    # tier (what auto dispatch picks on a numba-free install); baselines
+    # are frozen seed loops, pinned in seed_paths so later optimisation of
+    # the live primitives cannot drift them.
+    if want("nco"):
+        nco = NCO(cfg.input_rate_hz, cfg.nco_frequency_hz)
+        nco_seed = NCO(cfg.input_rate_hz, cfg.nco_frequency_hz)
+        add("nco", lambda: nco.generate(FULL_SAMPLES, engine="fused"),
+            FULL_SAMPLES,
+            baseline_fn=lambda: nco_seed.generate(
+                FULL_SAMPLES, engine="python"
+            ),
+            notes="vectorised LUT NCO, fused shift/mask kernel; baseline "
+            "= the python oracle (unchanged since seed)")
 
-    cic = FixedCICDecimator(2, 16, input_width=12)
-    cic_seed = FixedCICDecimator(2, 16, input_width=12)
-    add("cic", lambda: cic.process(adc), n,
-        baseline_fn=lambda: seed_fixed_cic_process(cic_seed, adc),
-        notes="FixedCICDecimator(2,16); baseline = frozen seed loop")
+    if want("cic"):
+        cic = FixedCICDecimator(2, 16, input_width=12)
+        cic_seed = FixedCICDecimator(2, 16, input_width=12)
+        add("cic", lambda: cic.process(adc_full, engine="fused"),
+            FULL_SAMPLES,
+            baseline_fn=lambda: seed_fixed_cic_process(cic_seed, adc_full),
+            notes="FixedCICDecimator(2,16), fused int32 in-place kernel; "
+            "baseline = frozen seed loop")
 
     taps = reference_fir_taps()
     raw, fmt = quantize_taps(taps, 12)
-    fir_in = adc[: max(len(raw) * 4, n // 336)]
-    fir = FixedPolyphaseDecimator(raw, 8, output_shift=max(0, fmt.frac))
-    fir_seed = FixedPolyphaseDecimator(raw, 8, output_shift=max(0, fmt.frac))
-    add("fir", lambda: fir.process(fir_in), len(fir_in),
-        baseline_fn=lambda: seed_fixed_fir_process(fir_seed, fir_in),
-        notes="FixedPolyphaseDecimator at the 384 kHz stage rate; "
-        "baseline = frozen seed loop")
+    if want("fir"):
+        # A realistic streaming block at the 384 kHz FIR stage rate.  The
+        # seed harness used 500 samples, which is per-call-overhead
+        # dominated (~45 us both paths) and made the pair noise; 10752
+        # samples puts both loops firmly in the vectorised regime.
+        fir_in = adc_full[: FULL_SAMPLES // 8]
+        fir = FixedPolyphaseDecimator(raw, 8, output_shift=max(0, fmt.frac))
+        fir_seed = FixedPolyphaseDecimator(
+            raw, 8, output_shift=max(0, fmt.frac)
+        )
+        add("fir", lambda: fir.process(fir_in, engine="fused"), len(fir_in),
+            baseline_fn=lambda: seed_fixed_fir_process(fir_seed, fir_in),
+            notes="FixedPolyphaseDecimator at the 384 kHz stage rate, "
+            "fused strided-window kernel over a 10752-sample streaming "
+            "block; baseline = frozen seed loop")
 
-    gold = DDC(cfg)
-    add("ddc_gold", lambda: gold.process(xf), n, notes="float64 gold model")
+    if want("ddc_gold"):
+        gold = DDC(cfg)
+        add("ddc_gold", lambda: gold.process(xf), n,
+            notes="float64 gold model")
 
-    fixed = FixedDDC(cfg)
-    adc32 = adc.astype(np.int32)  # forces the seed's input copy back in
-    fixed_seed = FixedDDC(cfg)
-    add("fixed_ddc", lambda: fixed.process(adc), n,
-        baseline_fn=lambda: fixed_seed.process(adc32),
-        notes="bit-true numpy DDC; baseline re-adds the seed's input copy")
+    if want("fixed_ddc"):
+        fixed = FixedDDC(cfg)
+        adc32 = adc_full.astype(np.int32)  # forces the seed's input copy
+        fixed_seed = FixedDDC(cfg)
+        add("fixed_ddc",
+            lambda: fixed.process(adc_full, engine="fused"), FULL_SAMPLES,
+            baseline_fn=lambda: fixed_seed.process(adc32, engine="python"),
+            notes="bit-true DDC, fused end-to-end kernel (integer-LUT "
+            "mixer + int32 CIC rails + strided FIR); baseline = the "
+            "python oracle with the seed's input copy re-added")
 
     # RTL DDC: the block engine vs the seed cycle-accurate path.  The
     # cycle baseline is throughput-linear in the input length, so quick
     # mode may shorten it; the block measurement always uses the full
     # reference input (see above).
-    say("bench rtl_ddc (cycle-accurate baseline, slow) ...")
-    rtl = RTLDDC(cfg)
-    base_secs = time_fn(
-        lambda: (rtl.reset(), rtl.run(adc))[1], repeats=1, warmup=0
-    )
-    rtl_b = RTLDDC(cfg)
-    say("bench rtl_ddc (block mode) ...")
-    rtl_reps = min(7, max(3, repeats))
-    blk_secs = time_fn(
-        lambda: (rtl_b.reset(), rtl_b.run(adc_full, mode="block"))[1],
-        repeats=rtl_reps,
-    )
-    results["rtl_ddc"] = BenchResult(
-        name="rtl_ddc",
-        samples_per_sec=FULL_SAMPLES / blk_secs,
-        seconds=blk_secs,
-        repeats=rtl_reps,
-        n_samples=FULL_SAMPLES,
-        baseline_samples_per_sec=n / base_secs,
-        baseline_seconds=base_secs,
-        notes="block mode vs cycle-accurate, both with activity tracking",
-    )
+    if want("rtl_ddc"):
+        say("bench rtl_ddc (cycle-accurate baseline, slow) ...")
+        rtl = RTLDDC(cfg)
+        base_secs = time_fn(
+            lambda: (rtl.reset(), rtl.run(adc))[1], repeats=1, warmup=0
+        )
+        rtl_b = RTLDDC(cfg)
+        say("bench rtl_ddc (block mode) ...")
+        rtl_reps = min(7, max(3, repeats))
+        blk_secs = time_fn(
+            lambda: (rtl_b.reset(), rtl_b.run(adc_full, mode="block"))[1],
+            repeats=rtl_reps,
+        )
+        results["rtl_ddc"] = BenchResult(
+            name="rtl_ddc",
+            samples_per_sec=FULL_SAMPLES / blk_secs,
+            seconds=blk_secs,
+            repeats=rtl_reps,
+            n_samples=FULL_SAMPLES,
+            baseline_samples_per_sec=n / base_secs,
+            baseline_seconds=base_secs,
+            notes="block mode vs cycle-accurate, both with activity tracking",
+        )
 
-    # Simulator.step microkernel: compiled fast loop vs seed dict loop.
-    step_cycles = 2_000 if quick else 20_000
-    step_reps = min(7, repeats)
-    sim_fast = _build_step_sim()
-    sim_fast.compile()
-    say("bench sim_step ...")
-    fast_secs = time_fn(lambda: sim_fast.step(step_cycles), repeats=step_reps)
-    sim_ref = _build_step_sim()
-    ref_secs = time_fn(
-        lambda: _seed_step(sim_ref, step_cycles), repeats=step_reps
-    )
-    results["sim_step"] = BenchResult(
-        name="sim_step",
-        samples_per_sec=step_cycles / fast_secs,
-        seconds=fast_secs,
-        repeats=step_reps,
-        n_samples=step_cycles,
-        baseline_samples_per_sec=step_cycles / ref_secs,
-        baseline_seconds=ref_secs,
-        notes="cycles/sec, 8-component design; baseline = per-cycle dict loop",
-    )
+    # Simulator.step microkernel: the code-generated fused step loop vs
+    # the seed dict loop.  Guarded, so the fast measurement always runs
+    # the full cycle count; the seed baseline is throughput-linear in
+    # cycles and may be shortened in quick mode.
+    if want("sim_step"):
+        step_cycles = 20_000
+        base_cycles = 2_000 if quick else step_cycles
+        step_reps = min(7, repeats)
+        sim_fast = _build_step_sim()
+        sim_fast.compile(engine="fused")
+        say("bench sim_step ...")
+        fast_secs = time_fn(
+            lambda: sim_fast.step(step_cycles), repeats=step_reps
+        )
+        sim_ref = _build_step_sim()
+        ref_secs = time_fn(
+            lambda: _seed_step(sim_ref, base_cycles), repeats=step_reps
+        )
+        results["sim_step"] = BenchResult(
+            name="sim_step",
+            samples_per_sec=step_cycles / fast_secs,
+            seconds=fast_secs,
+            repeats=step_reps,
+            n_samples=step_cycles,
+            baseline_samples_per_sec=base_cycles / ref_secs,
+            baseline_seconds=ref_secs,
+            notes="cycles/sec, 8-component design; generated inline-latch "
+            "step loop vs the seed per-cycle dict loop",
+        )
 
     # GPP: the instruction-set simulation of the generated DDC program.
     # The trace-compiled engine runs the full 2688-sample steady-state
     # block even in quick mode (the seed could only afford 336 there);
     # the baseline is the seed interpreter over the *same* input.
-    gpp_n = 2688
-    say("bench gpp_ddc (vectorised kernel) ...")
-    gpp_reps = 3 if quick else 7
-    gpp_secs = time_fn(
-        lambda: profile_ddc(n_samples=gpp_n, engine="auto"),
-        repeats=gpp_reps,
-    )
-    say("bench gpp_ddc (seed interpreter baseline, slow) ...")
-    gpp_base = time_fn(
-        lambda: profile_ddc(n_samples=gpp_n, engine="interp"),
-        repeats=1, warmup=0,
-    )
-    results["gpp_ddc"] = BenchResult(
-        name="gpp_ddc",
-        samples_per_sec=gpp_n / gpp_secs,
-        seconds=gpp_secs,
-        repeats=gpp_reps,
-        n_samples=gpp_n,
-        baseline_samples_per_sec=gpp_n / gpp_base,
-        baseline_seconds=gpp_base,
-        notes="ARM-like ISS executing the generated I-rail DDC program; "
-        "trace-compiled engine vs the seed per-instruction interpreter",
-    )
+    if want("gpp_ddc"):
+        gpp_n = 2688
+        say("bench gpp_ddc (vectorised kernel) ...")
+        gpp_reps = 3 if quick else 7
+        gpp_secs = time_fn(
+            lambda: profile_ddc(n_samples=gpp_n, engine="auto"),
+            repeats=gpp_reps,
+        )
+        say("bench gpp_ddc (seed interpreter baseline, slow) ...")
+        gpp_base = time_fn(
+            lambda: profile_ddc(n_samples=gpp_n, engine="interp"),
+            repeats=1, warmup=0,
+        )
+        results["gpp_ddc"] = BenchResult(
+            name="gpp_ddc",
+            samples_per_sec=gpp_n / gpp_secs,
+            seconds=gpp_secs,
+            repeats=gpp_reps,
+            n_samples=gpp_n,
+            baseline_samples_per_sec=gpp_n / gpp_base,
+            baseline_seconds=gpp_base,
+            notes="ARM-like ISS executing the generated I-rail DDC program; "
+            "trace-compiled engine vs the seed per-instruction interpreter",
+        )
 
     # Montium: the tile DDC mapping, block engine vs the stepped tile.
     # Like rtl_ddc, the guarded block measurement always runs the full
     # reference input so quick-mode CI numbers stay comparable to the
     # committed file; quick mode only shortens the slow stepped baseline
     # (throughput there is length-independent).
-    from ..archs.montium import run_ddc_on_tile
+    if want("montium_ddc"):
+        from ..archs.montium import run_ddc_on_tile
 
-    mont_n = 2688 * 8
-    mont_x = adc_full[:mont_n]
-    mont_base_x = adc_full[: 2688 if quick else mont_n]
-    say("bench montium_ddc (block engine) ...")
-    mont_reps = 3 if quick else 7
-    mont_secs = time_fn(
-        lambda: run_ddc_on_tile(mont_x, cfg, mode="block"),
-        repeats=mont_reps,
-    )
-    say("bench montium_ddc (stepped tile baseline, slow) ...")
-    mont_base = time_fn(
-        lambda: run_ddc_on_tile(mont_base_x, cfg, mode="step"),
-        repeats=1, warmup=0,
-    )
-    results["montium_ddc"] = BenchResult(
-        name="montium_ddc",
-        samples_per_sec=mont_n / mont_secs,
-        seconds=mont_secs,
-        repeats=mont_reps,
-        n_samples=mont_n,
-        baseline_samples_per_sec=len(mont_base_x) / mont_base,
-        baseline_seconds=mont_base,
-        notes="Montium tile DDC mapping; vectorised block engine vs the "
-        "per-cycle stepped tile",
-    )
+        mont_n = 2688 * 8
+        mont_x = adc_full[:mont_n]
+        mont_base_x = adc_full[: 2688 if quick else mont_n]
+        say("bench montium_ddc (block engine) ...")
+        mont_reps = 3 if quick else 7
+        mont_secs = time_fn(
+            lambda: run_ddc_on_tile(mont_x, cfg, mode="block"),
+            repeats=mont_reps,
+        )
+        say("bench montium_ddc (stepped tile baseline, slow) ...")
+        mont_base = time_fn(
+            lambda: run_ddc_on_tile(mont_base_x, cfg, mode="step"),
+            repeats=1, warmup=0,
+        )
+        results["montium_ddc"] = BenchResult(
+            name="montium_ddc",
+            samples_per_sec=mont_n / mont_secs,
+            seconds=mont_secs,
+            repeats=mont_reps,
+            n_samples=mont_n,
+            baseline_samples_per_sec=len(mont_base_x) / mont_base,
+            baseline_seconds=mont_base,
+            notes="Montium tile DDC mapping; vectorised block engine vs the "
+            "per-cycle stepped tile",
+        )
 
     # Scenario sweep: the batched duty-cycle x candidate grid of the
     # repro.sweep subsystem vs the scalar Section 7 loop it replaced.
@@ -334,39 +411,40 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
     # grid so quick-mode CI numbers stay comparable to the committed
     # file; quick mode only shortens the scalar baseline (its throughput
     # is step-count independent).
-    from ..core.evaluator import DDCEvaluator
-    from ..sweep import duty_cycle_grid
+    if want("scenario_sweep"):
+        from ..core.evaluator import DDCEvaluator
+        from ..sweep import duty_cycle_grid
 
-    say("bench scenario_sweep (batched grid) ...")
-    analysis = DDCEvaluator().scenario_analysis(cfg)
-    sweep_steps = 20_001
-    n_cand = len(analysis.candidates)
-    sweep_reps = min(7, repeats)
-    sweep_secs = time_fn(
-        lambda: duty_cycle_grid(analysis, sweep_steps).winners(),
-        repeats=sweep_reps,
-    )
-    say("bench scenario_sweep (scalar loop baseline) ...")
-    base_steps = 2_001 if quick else sweep_steps
-    sweep_base = time_fn(
-        lambda: [
-            analysis.evaluate(i / (base_steps - 1))
-            for i in range(base_steps)
-        ],
-        repeats=3,
-    )
-    results["scenario_sweep"] = BenchResult(
-        name="scenario_sweep",
-        samples_per_sec=sweep_steps * n_cand / sweep_secs,
-        seconds=sweep_secs,
-        repeats=sweep_reps,
-        n_samples=sweep_steps * n_cand,
-        baseline_samples_per_sec=base_steps * n_cand / sweep_base,
-        baseline_seconds=sweep_base,
-        notes="Table 7 duty-cycle x candidate grid (cells/sec); batched "
-        "evaluate_batch + winner extraction vs the scalar "
-        "ScenarioAnalysis.evaluate loop",
-    )
+        say("bench scenario_sweep (batched grid) ...")
+        analysis = DDCEvaluator().scenario_analysis(cfg)
+        sweep_steps = 20_001
+        n_cand = len(analysis.candidates)
+        sweep_reps = min(7, repeats)
+        sweep_secs = time_fn(
+            lambda: duty_cycle_grid(analysis, sweep_steps).winners(),
+            repeats=sweep_reps,
+        )
+        say("bench scenario_sweep (scalar loop baseline) ...")
+        base_steps = 2_001 if quick else sweep_steps
+        sweep_base = time_fn(
+            lambda: [
+                analysis.evaluate(i / (base_steps - 1))
+                for i in range(base_steps)
+            ],
+            repeats=3,
+        )
+        results["scenario_sweep"] = BenchResult(
+            name="scenario_sweep",
+            samples_per_sec=sweep_steps * n_cand / sweep_secs,
+            seconds=sweep_secs,
+            repeats=sweep_reps,
+            n_samples=sweep_steps * n_cand,
+            baseline_samples_per_sec=base_steps * n_cand / sweep_base,
+            baseline_seconds=sweep_base,
+            notes="Table 7 duty-cycle x candidate grid (cells/sec); batched "
+            "evaluate_batch + winner extraction vs the scalar "
+            "ScenarioAnalysis.evaluate loop",
+        )
 
     # Architecture-model layer: implement_batch over a Table 7 config grid
     # vs the scalar implement loop (the implement_batch_scalar oracle).
@@ -376,38 +454,39 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
     # always runs the full grid so quick-mode CI numbers stay comparable
     # to the committed file; quick mode only shortens the slow scalar
     # baseline (its throughput is grid-size independent).
-    import dataclasses
+    if want("evaluator_batch"):
+        import dataclasses
 
-    say("bench evaluator_batch (batched model layer) ...")
-    eval_grid = [
-        dataclasses.replace(cfg, data_width=w) for w in range(8, 16)
-    ]
-    models = DDCEvaluator().models
-    n_reports = len(eval_grid) * len(models)
-    eval_reps = 3 if quick else min(7, repeats)
-    eval_secs = time_fn(
-        lambda: [m.implement_batch(eval_grid) for m in models],
-        repeats=eval_reps,
-    )
-    say("bench evaluator_batch (scalar model loop baseline, slow) ...")
-    base_grid = eval_grid[:2] if quick else eval_grid
-    eval_base = time_fn(
-        lambda: [m.implement_batch_scalar(base_grid) for m in models],
-        repeats=1, warmup=0,
-    )
-    results["evaluator_batch"] = BenchResult(
-        name="evaluator_batch",
-        samples_per_sec=n_reports / eval_secs,
-        seconds=eval_secs,
-        repeats=eval_reps,
-        n_samples=n_reports,
-        baseline_samples_per_sec=len(base_grid) * len(models) / eval_base,
-        baseline_seconds=eval_base,
-        notes="Table 7 data-width config grid x all six architecture "
-        "models (reports/sec); implement_batch (analytic ARM profile, "
-        "deduped Montium schedules, vectorised power arithmetic) vs the "
-        "scalar implement loop",
-    )
+        say("bench evaluator_batch (batched model layer) ...")
+        eval_grid = [
+            dataclasses.replace(cfg, data_width=w) for w in range(8, 16)
+        ]
+        models = DDCEvaluator().models
+        n_reports = len(eval_grid) * len(models)
+        eval_reps = 3 if quick else min(7, repeats)
+        eval_secs = time_fn(
+            lambda: [m.implement_batch(eval_grid) for m in models],
+            repeats=eval_reps,
+        )
+        say("bench evaluator_batch (scalar model loop baseline, slow) ...")
+        base_grid = eval_grid[:2] if quick else eval_grid
+        eval_base = time_fn(
+            lambda: [m.implement_batch_scalar(base_grid) for m in models],
+            repeats=1, warmup=0,
+        )
+        results["evaluator_batch"] = BenchResult(
+            name="evaluator_batch",
+            samples_per_sec=n_reports / eval_secs,
+            seconds=eval_secs,
+            repeats=eval_reps,
+            n_samples=n_reports,
+            baseline_samples_per_sec=len(base_grid) * len(models) / eval_base,
+            baseline_seconds=eval_base,
+            notes="Table 7 data-width config grid x all six architecture "
+            "models (reports/sec); implement_batch (analytic ARM profile, "
+            "deduped Montium schedules, vectorised power arithmetic) vs the "
+            "scalar implement loop",
+        )
 
     # Design-space exploration: adaptive refinement vs the dense scalar
     # oracle on the reference input-rate space.  Units are delivered
@@ -418,38 +497,39 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
     # The guarded adaptive measurement always runs the full reference
     # space; quick mode only shortens the slow dense baseline (its
     # cells/sec throughput is resolution-independent).
-    from ..core.evaluator import ReportCache
-    from ..explore import ExploreSpec, run_explore
+    if want("explore_frontier"):
+        from ..core.evaluator import ReportCache
+        from ..explore import ExploreSpec, run_explore
 
-    say("bench explore_frontier (adaptive engine) ...")
-    explore_spec = ExploreSpec()
-    exp_reps = 3 if quick else min(7, repeats)
-    exp_secs = time_fn(
-        lambda: run_explore(
-            explore_spec, "adaptive", DDCEvaluator(cache=ReportCache())
-        ),
-        repeats=exp_reps,
-    )
-    say("bench explore_frontier (dense scalar oracle baseline, slow) ...")
-    base_spec = (
-        ExploreSpec(target_steps=17) if quick else explore_spec
-    )
-    exp_base = time_fn(
-        lambda: run_explore(base_spec, "dense", DDCEvaluator()),
-        repeats=1, warmup=0,
-    )
-    results["explore_frontier"] = BenchResult(
-        name="explore_frontier",
-        samples_per_sec=explore_spec.n_cells / exp_secs,
-        seconds=exp_secs,
-        repeats=exp_reps,
-        n_samples=explore_spec.n_cells,
-        baseline_samples_per_sec=base_spec.n_cells / exp_base,
-        baseline_seconds=exp_base,
-        notes="reference input-rate design space, target cells/sec; "
-        "adaptive refinement (batched model passes, vectorised Pareto) "
-        "vs the dense scalar-oracle grid",
-    )
+        say("bench explore_frontier (adaptive engine) ...")
+        explore_spec = ExploreSpec()
+        exp_reps = 3 if quick else min(7, repeats)
+        exp_secs = time_fn(
+            lambda: run_explore(
+                explore_spec, "adaptive", DDCEvaluator(cache=ReportCache())
+            ),
+            repeats=exp_reps,
+        )
+        say("bench explore_frontier (dense scalar oracle baseline, slow) ...")
+        base_spec = (
+            ExploreSpec(target_steps=17) if quick else explore_spec
+        )
+        exp_base = time_fn(
+            lambda: run_explore(base_spec, "dense", DDCEvaluator()),
+            repeats=1, warmup=0,
+        )
+        results["explore_frontier"] = BenchResult(
+            name="explore_frontier",
+            samples_per_sec=explore_spec.n_cells / exp_secs,
+            seconds=exp_secs,
+            repeats=exp_reps,
+            n_samples=explore_spec.n_cells,
+            baseline_samples_per_sec=base_spec.n_cells / exp_base,
+            baseline_seconds=exp_base,
+            notes="reference input-rate design space, target cells/sec; "
+            "adaptive refinement (batched model passes, vectorised Pareto) "
+            "vs the dense scalar-oracle grid",
+        )
 
     # Fault-tolerant sweep: the same batched scenario grid with a
     # transient injected failure recovered by on_error="retry", against
@@ -459,42 +539,43 @@ def run_dsp_suite(quick: bool = False, progress=None) -> dict[str, BenchResult]:
     # so a regression here means recovery got expensive, not the sweep.
     # A fresh inject() per timed run resets the firing counters, keeping
     # every repeat deterministic (exactly one injected failure each).
-    from .. import faults
-    from ..sweep import SweepSpec, run_sweep
+    if want("sweep_faulty"):
+        from .. import faults
+        from ..sweep import SweepSpec, run_sweep
 
-    say("bench sweep_faulty (retry recovery under injection) ...")
-    faulty_spec = SweepSpec.from_axes(
-        {"fir_taps": (63, 127, 255)},
-        duty_cycle_steps=2_001,
-        on_error="retry",
-    )
-    fault_plan = faults.FaultPlan(
-        (faults.FaultSpec("sweep.point", keys=(1,)),)
-    )
+        say("bench sweep_faulty (retry recovery under injection) ...")
+        faulty_spec = SweepSpec.from_axes(
+            {"fir_taps": (63, 127, 255)},
+            duty_cycle_steps=2_001,
+            on_error="retry",
+        )
+        fault_plan = faults.FaultPlan(
+            (faults.FaultSpec("sweep.point", keys=(1,)),)
+        )
 
-    def _run_faulty():
-        with faults.inject(fault_plan):
-            run_sweep(faulty_spec)
+        def _run_faulty():
+            with faults.inject(fault_plan):
+                run_sweep(faulty_spec)
 
-    faulty_reps = 3 if quick else min(7, repeats)
-    faulty_secs = time_fn(_run_faulty, repeats=faulty_reps)
-    say("bench sweep_faulty (fault-free strict baseline) ...")
-    strict_spec = SweepSpec.from_axes(
-        {"fir_taps": (63, 127, 255)}, duty_cycle_steps=2_001
-    )
-    strict_secs = time_fn(
-        lambda: run_sweep(strict_spec), repeats=faulty_reps
-    )
-    results["sweep_faulty"] = BenchResult(
-        name="sweep_faulty",
-        samples_per_sec=faulty_spec.n_grid_cells / faulty_secs,
-        seconds=faulty_secs,
-        repeats=faulty_reps,
-        n_samples=faulty_spec.n_grid_cells,
-        baseline_samples_per_sec=strict_spec.n_grid_cells / strict_secs,
-        baseline_seconds=strict_secs,
-        notes="fir_taps sweep (cells/sec) with one injected point "
-        "failure recovered under on_error=retry vs the fault-free "
-        "strict sweep; prices the fault_point probes + one retry",
-    )
+        faulty_reps = 3 if quick else min(7, repeats)
+        faulty_secs = time_fn(_run_faulty, repeats=faulty_reps)
+        say("bench sweep_faulty (fault-free strict baseline) ...")
+        strict_spec = SweepSpec.from_axes(
+            {"fir_taps": (63, 127, 255)}, duty_cycle_steps=2_001
+        )
+        strict_secs = time_fn(
+            lambda: run_sweep(strict_spec), repeats=faulty_reps
+        )
+        results["sweep_faulty"] = BenchResult(
+            name="sweep_faulty",
+            samples_per_sec=faulty_spec.n_grid_cells / faulty_secs,
+            seconds=faulty_secs,
+            repeats=faulty_reps,
+            n_samples=faulty_spec.n_grid_cells,
+            baseline_samples_per_sec=strict_spec.n_grid_cells / strict_secs,
+            baseline_seconds=strict_secs,
+            notes="fir_taps sweep (cells/sec) with one injected point "
+            "failure recovered under on_error=retry vs the fault-free "
+            "strict sweep; prices the fault_point probes + one retry",
+        )
     return results

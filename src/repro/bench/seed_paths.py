@@ -15,8 +15,34 @@ import numpy as np
 
 from ..dsp.cic import FixedCICDecimator
 from ..dsp.fir import FixedPolyphaseDecimator
-from ..fixedpoint import QFormat, quantize, saturate, wrap
-from ..fixedpoint.ops import Rounding
+from ..fixedpoint import QFormat
+
+
+# The seed loops must also pin the *fixed-point primitives* they called:
+# the live ``repro.fixedpoint.ops`` versions get optimised too (wrap is a
+# two-pass shift/mask now), and importing them here would silently speed
+# up the "before" measurement.  Verbatim seed copies:
+
+def _seed_saturate(raw: np.ndarray, fmt: QFormat) -> np.ndarray:
+    arr = np.asarray(raw).astype(np.int64, copy=False)
+    return np.clip(arr, fmt.min_raw, fmt.max_raw)
+
+
+def _seed_wrap(raw: np.ndarray, fmt: QFormat) -> np.ndarray:
+    arr = np.asarray(raw).astype(np.int64, copy=False)
+    if fmt.width >= 64:
+        return arr.copy()
+    modulus = np.int64(1) << fmt.width
+    half = np.int64(1) << (fmt.width - 1)
+    wrapped = np.bitwise_and(arr, modulus - 1)
+    return np.where(wrapped >= half, wrapped - modulus, wrapped).astype(np.int64)
+
+
+def _seed_quantize_truncate(raw: np.ndarray, shift: int) -> np.ndarray:
+    arr = np.asarray(raw).astype(np.int64, copy=False)
+    if shift == 0:
+        return arr.copy()
+    return arr >> shift
 
 
 def seed_fixed_cic_process(cic: FixedCICDecimator, x: np.ndarray) -> np.ndarray:
@@ -33,7 +59,7 @@ def seed_fixed_cic_process(cic: FixedCICDecimator, x: np.ndarray) -> np.ndarray:
         for s in range(cic.order):
             y = np.cumsum(y)
             y = y + cic._int_state[s]
-            y = wrap(y, internal)
+            y = _seed_wrap(y, internal)
             cic._int_state[s] = y[-1]
 
         first = (-cic._phase) % cic.decimation
@@ -44,13 +70,13 @@ def seed_fixed_cic_process(cic: FixedCICDecimator, x: np.ndarray) -> np.ndarray:
         for s in range(cic.order):
             with_hist = np.concatenate([cic._comb_state[s], z])
             out = with_hist[cic.diff_delay :] - with_hist[: -cic.diff_delay]
-            out = wrap(out, internal)
+            out = _seed_wrap(out, internal)
             if len(with_hist) >= cic.diff_delay:
                 cic._comb_state[s] = with_hist[
                     len(with_hist) - cic.diff_delay :
                 ]
             z = out
-    return quantize(z, cic.truncation_shift, Rounding.TRUNCATE)
+    return _seed_quantize_truncate(z, cic.truncation_shift)
 
 
 def seed_fixed_fir_process(
@@ -73,9 +99,9 @@ def seed_fixed_fir_process(
         idx = out_positions[:, None] + hist_len - np.arange(n_taps)[None, :]
         windows = buf[idx]
         acc = windows @ fir.taps_raw
-        acc = saturate(acc, fir.accumulator_format)
-        y = quantize(acc, fir.output_shift, Rounding.TRUNCATE)
-        y = saturate(y, fir.output_format)
+        acc = _seed_saturate(acc, fir.accumulator_format)
+        y = _seed_quantize_truncate(acc, fir.output_shift)
+        y = _seed_saturate(y, fir.output_format)
     else:
         y = np.empty(0, dtype=np.int64)
 

@@ -216,12 +216,25 @@ class FixedCICDecimator:
         )
         self._phase = 0
 
-    def process(self, x: np.ndarray) -> np.ndarray:
+    def process(self, x: np.ndarray, engine: str | None = None) -> np.ndarray:
         """Filter and decimate a block of raw integer samples.
 
         Input values must fit ``input_width`` bits (checked).  Returns raw
         integers in :attr:`output_format`.
+
+        ``engine`` selects the kernel tier (``python``/``fused``/``jit``;
+        ``None`` = the ``REPRO_KERNELS`` default).  All tiers are
+        bit-identical in outputs and carried state.
         """
+        from ..kernels import dispatch as _dispatch
+
+        tier = _dispatch.resolve("cic", engine)
+        if tier != "python":
+            return _dispatch.kernel("cic", tier)(self, x)
+        return self._process_python(x)
+
+    def _process_python(self, x: np.ndarray) -> np.ndarray:
+        """The oracle tier: the original per-stage wrap implementation."""
         x = np.asarray(x)
         if not np.issubdtype(x.dtype, np.integer):
             raise ConfigurationError("fixed CIC input must be integer raw values")

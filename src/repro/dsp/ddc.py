@@ -244,8 +244,28 @@ class FixedDDC:
         assert self.nco._lut is not None
         return np.round(self.nco._lut / self._amp_fmt.scale).astype(np.int64)
 
-    def process(self, x_raw: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Down-convert raw integer ADC samples; returns raw (I, Q)."""
+    def process(
+        self, x_raw: np.ndarray, engine: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Down-convert raw integer ADC samples; returns raw (I, Q).
+
+        ``engine`` selects the kernel tier (``python``/``fused``/``jit``;
+        ``None`` = the ``REPRO_KERNELS`` default).  The non-python tiers
+        run the whole chain as one fused end-to-end kernel — integer-LUT
+        mixer, fused CIC rails, strided FIR — bit-identical to the
+        stage-by-stage oracle below.
+        """
+        from ..kernels import dispatch as _dispatch
+
+        tier = _dispatch.resolve("fixed_ddc", engine)
+        if tier != "python":
+            return _dispatch.kernel("fixed_ddc", tier)(self, x_raw)
+        return self._process_python(x_raw)
+
+    def _process_python(
+        self, x_raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The oracle tier: per-stage processing with float LUT staging."""
         x_raw = np.asarray(x_raw)
         if not np.issubdtype(x_raw.dtype, np.integer):
             raise ConfigurationError("FixedDDC input must be raw integers")
@@ -256,7 +276,7 @@ class FixedDDC:
         ):
             raise ConfigurationError(f"input sample out of {in_fmt} range")
 
-        cos_f, sin_f = self.nco.generate(len(x_raw))
+        cos_f, sin_f = self.nco.generate(len(x_raw), engine="python")
         # LUT values are already quantised floats on the amplitude grid;
         # recover their raw integers exactly.
         cos_raw = np.round(cos_f / self._amp_fmt.scale).astype(np.int64)
@@ -273,12 +293,12 @@ class FixedDDC:
 
         i_s, q_s = i_mixed, q_mixed
         if self.cic2_i is not None and self.cic2_q is not None:
-            i_s = self.cic2_i.process(i_s)
-            q_s = self.cic2_q.process(q_s)
-        i_s = self.cic5_i.process(i_s)
-        q_s = self.cic5_q.process(q_s)
-        i_out = self.fir_i.process(i_s)
-        q_out = self.fir_q.process(q_s)
+            i_s = self.cic2_i.process(i_s, engine="python")
+            q_s = self.cic2_q.process(q_s, engine="python")
+        i_s = self.cic5_i.process(i_s, engine="python")
+        q_s = self.cic5_q.process(q_s, engine="python")
+        i_out = self.fir_i.process(i_s, engine="python")
+        q_out = self.fir_q.process(q_s, engine="python")
         return i_out, q_out
 
     def process_to_float(self, x_raw: np.ndarray) -> np.ndarray:

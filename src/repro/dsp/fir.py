@@ -207,6 +207,10 @@ class FixedPolyphaseDecimator:
             self.output_shift = self.coeff_width - 1
         if self.output_shift < 0:
             raise ConfigurationError("output_shift must be >= 0")
+        # Reversed taps, cached for the fused/jit kernels' ascending
+        # strided windows (ascending window . reversed taps == the
+        # oracle's descending window . taps).
+        self._taps_rev = self.taps_raw[::-1].copy()
         self.reset()
 
     @property
@@ -225,8 +229,22 @@ class FixedPolyphaseDecimator:
         self._hist = np.zeros(len(self.taps_raw) - 1, dtype=np.int64)
         self._offset = 0
 
-    def process(self, x: np.ndarray) -> np.ndarray:
-        """Filter + decimate raw integer samples, bit-true."""
+    def process(self, x: np.ndarray, engine: str | None = None) -> np.ndarray:
+        """Filter + decimate raw integer samples, bit-true.
+
+        ``engine`` selects the kernel tier (``python``/``fused``/``jit``;
+        ``None`` = the ``REPRO_KERNELS`` default).  All tiers are
+        bit-identical in outputs and carried state.
+        """
+        from ..kernels import dispatch as _dispatch
+
+        tier = _dispatch.resolve("fir", engine)
+        if tier != "python":
+            return _dispatch.kernel("fir", tier)(self, x)
+        return self._process_python(x)
+
+    def _process_python(self, x: np.ndarray) -> np.ndarray:
+        """The oracle tier: fancy-indexed window gather + matmul."""
         x = np.asarray(x)
         if not np.issubdtype(x.dtype, np.integer):
             raise ConfigurationError("input must be integer raw values")

@@ -74,10 +74,14 @@ def wrap(raw: ArrayLike, fmt: QFormat) -> np.ndarray:
     if fmt.width >= 64:
         # int64 arithmetic is already modulo 2**64; reinterpretation is a no-op.
         return arr.copy()
-    modulus = np.int64(1) << fmt.width
+    # Bias so the sign bit becomes a carry into the masked-off region:
+    # ((v + half) mod 2**width) - half maps any v onto [-half, half) while
+    # preserving congruence mod 2**width.  Two cheap passes (add folds into
+    # the mask's temp) instead of mask + compare + where.
     half = np.int64(1) << (fmt.width - 1)
-    wrapped = np.bitwise_and(arr, modulus - 1)
-    return np.where(wrapped >= half, wrapped - modulus, wrapped).astype(np.int64)
+    mask = (np.int64(1) << fmt.width) - 1
+    with np.errstate(over="ignore"):
+        return ((arr + half) & mask) - half
 
 
 def _apply_overflow(raw: np.ndarray, fmt: QFormat, policy: Overflow) -> np.ndarray:

@@ -1,0 +1,213 @@
+"""Optional numba ``@njit`` kernels for the hottest per-sample loops.
+
+Numba is **never** a hard dependency.  The import is guarded: when it is
+absent, :data:`HAVE_NUMBA` is ``False``, nothing is registered, and
+:func:`repro.kernels.dispatch.resolve` silently degrades every ``jit``
+request to the ``fused`` tier — the numba-absent fallback is pinned by
+``tests/test_kernels.py``.
+
+When numba *is* importable the kernels here replace the per-stage numpy
+passes with single-pass compiled loops (``cache=True`` so compilation is
+paid once per machine).  Staging — validation, state sync, the cheap
+decimated-rate tails — stays in numpy, shared with the fused tier, so
+the jit tier is bit-identical to ``fused`` (and therefore to the
+``python`` oracle) by construction: the same Hypothesis suites pin all
+tiers against each other whenever numba is installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fixedpoint import QFormat, quantize, wrap
+from ..fixedpoint.ops import Rounding
+from . import fused
+from .dispatch import register
+
+try:  # pragma: no cover - exercised by the numba CI leg
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    njit = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised by the numba CI leg
+
+    @njit(cache=True)
+    def _nco_index_loop(n, acc, fcw, phase_mask, shift, addr_mask):
+        out = np.empty(n, np.int64)
+        p = acc
+        for i in range(n):
+            out[i] = (p >> shift) & addr_mask
+            p = (p + fcw) & phase_mask
+        return out
+
+    @njit(cache=True)
+    def _cic_integrate_loop(x, state, mask, half):
+        # One pass over the block carrying every integrator register;
+        # wrapping per sample keeps each register canonical, which is
+        # congruent (mod 2**width) to the oracle's per-stage wrap.
+        n = x.shape[0]
+        order = state.shape[0]
+        out = np.empty(n, np.int64)
+        for i in range(n):
+            v = x[i]
+            for s in range(order):
+                v = ((state[s] + v + half) & mask) - half
+                state[s] = v
+            out[i] = v
+        return out
+
+    @njit(cache=True)
+    def _fir_mac_loop(buf, taps_rev, first_out, decimation, n_out):
+        n_taps = taps_rev.shape[0]
+        out = np.empty(n_out, np.int64)
+        for k in range(n_out):
+            base = first_out + k * decimation
+            acc = np.int64(0)
+            for j in range(n_taps):
+                acc += buf[base + j] * taps_rev[j]
+            out[k] = acc
+        return out
+
+
+def nco_generate(nco, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Jit LUT-mode ``NCO.generate``: compiled phase-accumulator loop."""
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    lut = nco._lut
+    assert lut is not None
+    shift = nco.phase_bits - nco.lut_addr_bits
+    n_lut = 1 << nco.lut_addr_bits
+    idx = _nco_index_loop(
+        n,
+        nco._phase_acc,
+        nco._fcw,
+        (1 << nco.phase_bits) - 1,
+        shift,
+        n_lut - 1,
+    )
+    sin_v = lut[idx]
+    idx += n_lut // 4
+    idx &= n_lut - 1
+    cos_v = lut[idx]
+    nco._phase_acc = int(
+        (nco._phase_acc + nco._fcw * n) % (1 << nco.phase_bits)
+    )
+    return cos_v, sin_v
+
+
+def cic_process(cic, x: np.ndarray) -> np.ndarray:
+    """Jit ``FixedCICDecimator.process``: single-pass integrator loop."""
+    x = fused._check_int_input(x, "fixed CIC")
+    if x.size == 0:
+        return np.empty(0, dtype=np.int64)
+    fused._check_range(x, QFormat(cic.input_width, 0))
+    width = cic.internal_width
+    y = _cic_integrate_loop(
+        np.ascontiguousarray(x, dtype=np.int64),
+        cic._int_state,
+        np.int64((1 << width) - 1),
+        np.int64(1 << (width - 1)),
+    )
+    internal = cic.internal_format
+    with np.errstate(over="ignore"):
+        first = (-cic._phase) % cic.decimation
+        kept = y[first :: cic.decimation]
+        cic._phase = (cic._phase + len(x)) % cic.decimation
+        z = kept
+        for s in range(cic.order):
+            with_hist = np.concatenate([cic._comb_state[s], z])
+            out = with_hist[cic.diff_delay :] - with_hist[: -cic.diff_delay]
+            out = wrap(out, internal)
+            if len(with_hist) >= cic.diff_delay:
+                cic._comb_state[s] = with_hist[
+                    len(with_hist) - cic.diff_delay :
+                ]
+            z = out
+    return quantize(z, cic.truncation_shift, Rounding.TRUNCATE)
+
+
+def fir_process(fir, x: np.ndarray) -> np.ndarray:
+    """Jit ``FixedPolyphaseDecimator.process``: compiled MAC loop."""
+    x = fused._check_int_input(x, "fixed FIR")
+    x = x.astype(np.int64, copy=False)
+    if x.size == 0:
+        return np.empty(0, dtype=np.int64)
+    fused._check_range(x, QFormat(fir.data_width, 0))
+
+    buf = np.concatenate([fir._hist, x])
+    first_out = (-fir._offset) % fir.decimation
+    n_out = max(0, -(-(len(x) - first_out) // fir.decimation))
+    if n_out:
+        acc = _fir_mac_loop(
+            buf, fir._taps_rev, first_out, fir.decimation, n_out
+        )
+        y = fused._fir_finish(fir, acc)
+    else:
+        y = np.empty(0, dtype=np.int64)
+    fused._fir_update_state(fir, buf, len(x))
+    return y
+
+
+def ddc_process(ddc, x_raw: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Jit ``FixedDDC.process``: fused staging over the jit CIC/FIR loops."""
+    x_raw = fused._check_int_input(x_raw, "FixedDDC")
+    in_fmt = QFormat(ddc.data_width, 0)
+    fused._check_range(x_raw, in_fmt)
+
+    n = len(x_raw)
+    nco = ddc.nco
+    w = ddc.data_width
+    shift = nco.phase_bits - nco.lut_addr_bits
+    n_lut = 1 << nco.lut_addr_bits
+    idx = _nco_index_loop(
+        n,
+        nco._phase_acc,
+        nco._fcw,
+        (1 << nco.phase_bits) - 1,
+        shift,
+        n_lut - 1,
+    )
+    nco._phase_acc = int(
+        (nco._phase_acc + nco._fcw * n) % (1 << nco.phase_bits)
+    )
+    lut = fused._ddc_lut_raw(ddc, np.int64)
+    sin_raw = lut[idx]
+    idx += n_lut // 4
+    idx &= n_lut - 1
+    cos_raw = lut[idx]
+
+    x64 = x_raw.astype(np.int64)
+    i_s = cos_raw
+    i_s *= x64
+    q_s = sin_raw
+    q_s *= x64
+    np.negative(q_s, out=q_s)
+    mshift = w - 1
+    i_s >>= mshift
+    q_s >>= mshift
+    np.clip(i_s, in_fmt.min_raw, in_fmt.max_raw, out=i_s)
+    np.clip(q_s, in_fmt.min_raw, in_fmt.max_raw, out=q_s)
+
+    def cic_stage(cic, y: np.ndarray) -> np.ndarray:
+        if y.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return cic_process(cic, y)
+
+    if ddc.cic2_i is not None and ddc.cic2_q is not None:
+        i_s = cic_stage(ddc.cic2_i, i_s)
+        q_s = cic_stage(ddc.cic2_q, q_s)
+    i_s = cic_stage(ddc.cic5_i, i_s)
+    q_s = cic_stage(ddc.cic5_q, q_s)
+    return fir_process(ddc.fir_i, i_s), fir_process(ddc.fir_q, q_s)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised by the numba CI leg
+    register("nco", "jit", nco_generate)
+    register("cic", "jit", cic_process)
+    register("fir", "jit", fir_process)
+    register("fixed_ddc", "jit", ddc_process)

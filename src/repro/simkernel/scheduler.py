@@ -47,6 +47,7 @@ class Simulator:
         self._traces: list[WaveTrace] = []
         self._activity = bool(activity)
         self._plan: tuple[tuple, tuple, tuple] | None = None
+        self._step_fn = None
         self.cycle = 0
 
     # ------------------------------------------------------------- assembly
@@ -56,21 +57,25 @@ class Simulator:
             raise SimulationError(f"duplicate wire name {name!r}")
         w = Wire(name, width, reset_value)
         self._wires[name] = w
-        self._plan = None
+        self._invalidate()
         return w
+
+    def _invalidate(self) -> None:
+        self._plan = None
+        self._step_fn = None
 
     def add(self, component: Component) -> Component:
         """Register a component (names must be unique)."""
         if component.name in self._components:
             raise SimulationError(f"duplicate component name {component.name!r}")
         self._components[component.name] = component
-        self._plan = None
+        self._invalidate()
         return component
 
     def attach_trace(self, trace: WaveTrace) -> WaveTrace:
         """Record the given trace every cycle."""
         self._traces.append(trace)
-        self._plan = None
+        self._invalidate()
         return trace
 
     @property
@@ -93,15 +98,28 @@ class Simulator:
         enabled = bool(enabled)
         if enabled != self._activity:
             self._activity = enabled
-            self._plan = None
+            self._invalidate()
 
     # ------------------------------------------------------------ compiling
-    def compile(self) -> "Simulator":
-        """Snapshot the design into flat call lists for the fast step loop.
+    def compile(self, engine: str | None = None) -> "Simulator":
+        """Snapshot the design into an executable step plan.
 
         Idempotent and safe to call at any time; assembly methods
         invalidate the plan so a stale snapshot can never run.
+
+        ``engine`` selects the kernel tier (``python`` = the flat tuple
+        plan below, ``fused`` = a generated single-function step loop with
+        the latch bodies inlined; ``None`` = the ``REPRO_KERNELS``
+        default).  Both tiers are cycle- and state-identical, including
+        partial-cycle semantics on a mid-cycle exception.
         """
+        from ..kernels import dispatch as _dispatch
+
+        tier = _dispatch.resolve("sim_step", engine)
+        if tier != "python":
+            self._step_fn = _dispatch.kernel("sim_step", tier)(self)
+            self._plan = None
+            return self
         wires = tuple(self._wires.values())
         latches = (
             tuple(w._latch for w in wires)
@@ -113,20 +131,24 @@ class Simulator:
             latches,
             wires,
         )
+        self._step_fn = None
         return self
 
     @property
     def compiled(self) -> bool:
         """True while a current compiled plan exists."""
-        return self._plan is not None
+        return self._plan is not None or self._step_fn is not None
 
     # -------------------------------------------------------------- running
     def step(self, cycles: int = 1) -> None:
         """Advance ``cycles`` clock edges."""
         if cycles < 0:
             raise SimulationError("cycles must be >= 0")
-        if self._plan is None:
+        if self._plan is None and self._step_fn is None:
             self.compile()
+        if self._step_fn is not None:
+            self._step_fn(self, cycles)
+            return
         assert self._plan is not None
         ticks, latches, wires = self._plan
         traces = self._traces
