@@ -57,7 +57,7 @@ def test_bench_rtl_ddc_block(benchmark, adc_block):
 
     def run():
         rtl.reset()
-        return rtl.run(adc_block, mode="block")
+        return rtl.run(adc_block, engine="block")
 
     res = benchmark(run)
     assert len(res.i) >= 1
@@ -68,7 +68,7 @@ def test_bench_rtl_ddc_block_no_activity(benchmark, adc_block):
 
     def run():
         rtl.reset()
-        return rtl.run(adc_block, mode="block", activity=False)
+        return rtl.run(adc_block, engine="block", activity=False)
 
     res = benchmark(run)
     assert len(res.i) >= 1

@@ -8,6 +8,14 @@ NCO to each station in turn (the retuning the Montium mapping keeps an ALU
 free for), and verifies that the selected channel dominates the 24 kHz
 output while its neighbours are rejected.
 
+The tune-each-station-in-turn scenario is what the ``drm`` entry of the
+workload registry (``repro.workloads``) generalises: a
+``DRMReceiverConfig`` carries ``n_channels`` parallel DDC rails, its
+architecture models price the whole receiver, and
+``python -m repro.sweep --workload drm`` sweeps the channel count.  The
+closing section below runs the registered workload's bit-true mapping
+and asks its evaluator which architectures can carry the receiver.
+
 Run:  python examples/drm_receiver.py
 """
 
@@ -65,6 +73,35 @@ def main() -> None:
           f"{rejection_db:.1f} dB")
     assert rejection_db > 15, "DDC failed to select the DRM channels"
     print("OK: the DDC selects each DRM channel and rejects empty spectrum.")
+
+    workload_demo()
+
+
+def workload_demo() -> None:
+    """The same receiver through the registered ``drm`` workload."""
+    from repro.workloads import get
+
+    wl = get("drm")
+    cfg = wl.default_config
+    print(f"\nWorkload registry: {wl.title!r}")
+    print(f"  {cfg.n_channels} parallel rails, stations at "
+          f"{[f'{f / 1e6:.3f} MHz' for f in cfg.station_frequencies()]}")
+
+    # Bit-true mapping: every rail down-converted in one call.
+    run = wl.mappings()["gpp"].run
+    assert run is not None
+    x = build_band(cfg.total_decimation * 8, cfg.input_rate_hz)
+    adc = np.clip(np.round(x * (2 ** (cfg.data_width - 1) - 1)),
+                  -(2 ** (cfg.data_width - 1)),
+                  2 ** (cfg.data_width - 1) - 1).astype(np.int64)
+    channels = run(adc, cfg)
+    print(f"  bit-true receive: {channels.shape[0]} channels x "
+          f"{channels.shape[1]} samples at {cfg.output_rate_hz / 1e3:.0f} kHz")
+
+    # Which architectures can carry the whole receiver?
+    for cand in wl.evaluator().scenario_candidates(cfg, strict=False):
+        print(f"  {cand.name:28s} {cand.active_power_w * 1e3:7.2f} mW active"
+              f"{' (reusable when idle)' if cand.reusable else ''}")
 
 
 if __name__ == "__main__":

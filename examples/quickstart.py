@@ -51,6 +51,14 @@ def main() -> None:
     print(f"Bit-true 12-bit model: {10 * np.log10(p_sig / p_err):.1f} dB "
           "agreement with the gold model")
 
+    # The DDC is one entry in the workload registry; the whole
+    # comparative stack (sweeps, exploration, benches) is selected the
+    # same way: python -m repro.sweep --workload <name>.
+    from repro.workloads import available, default_name
+
+    print(f"\nRegistered workloads: {', '.join(available())} "
+          f"(default: {default_name()})")
+
 
 if __name__ == "__main__":
     main()

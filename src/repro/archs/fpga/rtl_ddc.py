@@ -194,15 +194,19 @@ class RTLDDC:
         self,
         samples: np.ndarray,
         drain_cycles: int | None = None,
-        mode: str = "cycle",
+        mode: str | None = None,
         activity: bool = True,
+        *,
+        engine: str | None = None,
     ) -> RTLRunResult:
         """Feed ``samples`` (one per clock) and collect outputs.
 
         ``drain_cycles`` extra cycles flush the pipeline after the last
         input (default: enough for the FIR latency).
 
-        ``mode`` selects the execution engine:
+        ``engine`` selects the execution engine (default ``"cycle"``;
+        ``mode=`` is the deprecated spelling of the same knob and keeps
+        working behind a ``DeprecationWarning``):
 
         - ``"cycle"`` — the cycle-accurate simulation kernel, one clock
           edge per Python iteration.  This is the oracle.
@@ -222,6 +226,9 @@ class RTLDDC:
         returned report then carries zero toggles — which is the right
         setting for functional and throughput runs.
         """
+        from ...compat import resolve_engine_kwarg
+
+        mode = resolve_engine_kwarg("RTLDDC.run", engine, mode, "cycle")
         samples = np.asarray(samples)
         if not np.issubdtype(samples.dtype, np.integer):
             raise ConfigurationError("RTL DDC input must be raw integers")
@@ -246,7 +253,7 @@ class RTLDDC:
             )
         if mode == "block":
             return self._run_block(samples, drain_cycles, activity)
-        raise ConfigurationError(f"unknown RTL run mode {mode!r}")
+        raise ConfigurationError(f"unknown RTL run engine {mode!r}")
 
     def _run_block(
         self, samples: np.ndarray, drain_cycles: int, activity: bool
@@ -344,3 +351,24 @@ class RTLDDC:
     def reset(self) -> None:
         """Reset the whole design (wires, components, statistics)."""
         self.sim.reset()
+
+
+def ddc_workload_mapping():
+    """The DDC workload's FPGA mapping descriptor (see
+    :mod:`repro.workloads`): the structural RTL design run through the
+    block engine, bit-identical to the cycle-accurate oracle."""
+    from ...config import REFERENCE_DDC
+    from ...workloads.base import WorkloadMapping
+
+    def run(samples, config=REFERENCE_DDC, engine="block"):
+        return RTLDDC(config).run(samples, engine=engine)
+
+    return WorkloadMapping(
+        architecture="Altera Cyclone",
+        description=(
+            "structural RTL DDC (NCO ROM + CIC rails + sequential "
+            "polyphase FIR); engine='block' is the vectorised fast path, "
+            "engine='cycle' the cycle-accurate oracle"
+        ),
+        run=run,
+    )

@@ -258,7 +258,9 @@ def run_ddc_on_tile(
     samples: np.ndarray,
     config: DDCConfig = REFERENCE_DDC,
     fir_taps: np.ndarray | None = None,
-    mode: str = "block",
+    mode: str | None = None,
+    *,
+    engine: str | None = None,
 ) -> DDCMappingResult:
     """Execute the DDC mapping functionally over raw 12-bit input samples.
 
@@ -266,10 +268,15 @@ def run_ddc_on_tile(
     AGU steps an integer stride per cycle); outputs interleave I and Q in
     ``tile.outputs`` and are returned separated.
 
-    ``mode="block"`` (default) runs the vectorised block engine —
-    bit-identical to ``mode="step"`` (the per-cycle oracle, the seed
+    ``engine="block"`` (default) runs the vectorised block engine —
+    bit-identical to ``engine="step"`` (the per-cycle oracle, the seed
     path), including cycle counts, ALU utilisation and all tile state.
+    ``mode=`` is the deprecated spelling of the same knob and keeps
+    working behind a ``DeprecationWarning``.
     """
+    from ...compat import resolve_engine_kwarg
+
+    mode = resolve_engine_kwarg("run_ddc_on_tile", engine, mode, "block")
     samples = np.asarray(samples)
     if not np.issubdtype(samples.dtype, np.integer):
         raise ConfigurationError("tile input must be raw integers")
@@ -303,7 +310,7 @@ def run_ddc_on_tile(
     elif mode == "step":
         tile.run(program, len(samples))
     else:
-        raise ConfigurationError(f"unknown mode {mode!r}")
+        raise ConfigurationError(f"unknown tile engine {mode!r}")
     out = np.array(tile.outputs, dtype=np.int64)
     return DDCMappingResult(
         i=out[0::2].copy() if out.size else out,
@@ -311,4 +318,22 @@ def run_ddc_on_tile(
         cycles=tile.cycle,
         program=program,
         tile=tile,
+    )
+
+
+def ddc_workload_mapping():
+    """The DDC workload's Montium mapping descriptor (see
+    :mod:`repro.workloads`): the paper's hand schedule executed on the
+    5-ALU tile, block engine bit-identical to the stepped oracle."""
+    from ...workloads.base import WorkloadMapping
+
+    return WorkloadMapping(
+        architecture="Montium TP",
+        description=(
+            "hand-mapped 5-ALU tile schedule (Fig. 8 / Table 6): NCO + "
+            "CIC2 integrators at the sample rate, comb/CIC5/FIR "
+            "time-multiplexed; engine='block' vectorised, engine='step' "
+            "the per-cycle oracle"
+        ),
+        run=run_ddc_on_tile,
     )

@@ -62,8 +62,9 @@ def load_report(path: str | Path) -> dict:
 #: loop), every architecture's fast path, the batched scenario-sweep
 #: grid of ``repro.sweep``, the batched architecture-model layer
 #: (``implement_batch`` vs the scalar loop), the adaptive design-space
-#: explorer of ``repro.explore`` and the fault-tolerant sweep path
-#: (retry recovery under injection).
+#: explorer of ``repro.explore``, the fault-tolerant sweep path
+#: (retry recovery under injection) and the non-default workloads'
+#: scenario grids (``repro.workloads``).
 GUARDED_BENCHES = (
     "nco",
     "cic",
@@ -77,6 +78,8 @@ GUARDED_BENCHES = (
     "evaluator_batch",
     "explore_frontier",
     "sweep_faulty",
+    "drm_sweep",
+    "ofdm_sweep",
 )
 
 

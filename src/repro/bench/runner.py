@@ -44,6 +44,8 @@ BENCH_NAMES = (
     "evaluator_batch",
     "explore_frontier",
     "sweep_faulty",
+    "drm_sweep",
+    "ofdm_sweep",
 )
 
 
@@ -297,7 +299,7 @@ def run_dsp_suite(
         say("bench rtl_ddc (block mode) ...")
         rtl_reps = min(7, max(3, repeats))
         blk_secs = time_fn(
-            lambda: (rtl_b.reset(), rtl_b.run(adc_full, mode="block"))[1],
+            lambda: (rtl_b.reset(), rtl_b.run(adc_full, engine="block"))[1],
             repeats=rtl_reps,
         )
         results["rtl_ddc"] = BenchResult(
@@ -384,12 +386,12 @@ def run_dsp_suite(
         say("bench montium_ddc (block engine) ...")
         mont_reps = 3 if quick else 7
         mont_secs = time_fn(
-            lambda: run_ddc_on_tile(mont_x, cfg, mode="block"),
+            lambda: run_ddc_on_tile(mont_x, cfg, engine="block"),
             repeats=mont_reps,
         )
         say("bench montium_ddc (stepped tile baseline, slow) ...")
         mont_base = time_fn(
-            lambda: run_ddc_on_tile(mont_base_x, cfg, mode="step"),
+            lambda: run_ddc_on_tile(mont_base_x, cfg, engine="step"),
             repeats=1, warmup=0,
         )
         results["montium_ddc"] = BenchResult(
@@ -577,5 +579,49 @@ def run_dsp_suite(
             notes="fir_taps sweep (cells/sec) with one injected point "
             "failure recovered under on_error=retry vs the fault-free "
             "strict sweep; prices the fault_point probes + one retry",
+        )
+
+    # Workload sweeps: each non-default workload's scenario grid through
+    # the batch engine (cache cleared per repetition, so the number is
+    # model evaluation + grid math, not cache hits) vs the scalar
+    # oracle path over the same spec.
+    for wl_name in ("drm", "ofdm"):
+        bench_name = f"{wl_name}_sweep"
+        if not want(bench_name):
+            continue
+        from ..sweep import SweepSpec, run_sweep
+        from ..workloads import get as get_workload
+
+        workload = get_workload(wl_name)
+        wl_spec = SweepSpec.from_axes(
+            dict(workload.scenario_axes()),
+            duty_cycle_steps=2_001,
+            workload=wl_name,
+        )
+        cache = workload.shared_evaluator().cache
+
+        def _run_wl(spec=wl_spec, cache=cache):
+            cache.clear()
+            return run_sweep(spec, engine="batch")
+
+        say(f"bench {bench_name} (batch engine) ...")
+        wl_reps = 3 if quick else min(7, repeats)
+        wl_secs = time_fn(_run_wl, repeats=wl_reps)
+        say(f"bench {bench_name} (scalar oracle baseline) ...")
+        wl_base = time_fn(
+            lambda spec=wl_spec: run_sweep(spec, engine="scalar"),
+            repeats=wl_reps,
+        )
+        results[bench_name] = BenchResult(
+            name=bench_name,
+            samples_per_sec=wl_spec.n_grid_cells / wl_secs,
+            seconds=wl_secs,
+            repeats=wl_reps,
+            n_samples=wl_spec.n_grid_cells,
+            baseline_samples_per_sec=wl_spec.n_grid_cells / wl_base,
+            baseline_seconds=wl_base,
+            notes=f"{wl_name} workload scenario grid (cells/sec), batch "
+            "engine with the report cache cleared per repetition vs the "
+            "scalar oracle over the same spec",
         )
     return results

@@ -1,0 +1,50 @@
+"""Deprecation shims for renamed keyword arguments.
+
+The repo's documented vocabulary (see ``benchmarks/README.md``):
+``engine=`` always selects an *execution path* for the same bit-true
+result — ``NCO.generate(engine=...)``, ``Simulator.compile(engine=...)``,
+``CPU.run(engine=...)``, the sweep/explore engines, and (since the
+workload API pass) ``RTLDDC.run(engine=...)`` and
+``run_ddc_on_tile(engine=...)``.  ``mode=`` is reserved for *algorithmic*
+variants that change the computed answer (e.g. ``NCOMode.LUT`` vs
+``NCOMode.TAYLOR``).
+
+``RTLDDC.run`` and ``run_ddc_on_tile`` historically spelled their
+execution engine ``mode=``; :func:`resolve_engine_kwarg` keeps that
+spelling working behind a :class:`DeprecationWarning` so downstream
+callers migrate on their own schedule.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from .errors import ConfigurationError
+
+
+def resolve_engine_kwarg(
+    label: str,
+    engine: str | None,
+    mode: str | None,
+    default: str,
+) -> str:
+    """Resolve the ``engine=``/legacy ``mode=`` pair to one engine name.
+
+    ``mode=`` (the deprecated spelling) still works and warns; passing
+    both spellings with different values is a
+    :class:`~repro.errors.ConfigurationError` rather than a silent pick.
+    """
+    if mode is not None:
+        warnings.warn(
+            f"{label}: the mode= keyword is deprecated; spell the "
+            f"execution engine engine={mode!r}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if engine is not None and engine != mode:
+            raise ConfigurationError(
+                f"{label}: conflicting engine={engine!r} and legacy "
+                f"mode={mode!r}"
+            )
+        return mode
+    return engine if engine is not None else default

@@ -20,6 +20,7 @@ from .evaluator import (
     DDCEvaluator,
     EvaluationResult,
     ReportCache,
+    WorkloadEvaluator,
     config_cache_key,
     default_models,
     shared_evaluator,
@@ -34,6 +35,7 @@ __all__ = [
     "DDCEvaluator",
     "EvaluationResult",
     "ReportCache",
+    "WorkloadEvaluator",
     "config_cache_key",
     "default_models",
     "shared_evaluator",

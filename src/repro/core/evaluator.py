@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, fields
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..archs.base import (
     ArchitectureModel,
@@ -64,14 +64,17 @@ def default_models() -> list[ArchitectureModel]:
     ]
 
 
-def config_cache_key(config: DDCConfig) -> tuple:
+def config_cache_key(config: Any) -> tuple:
     """Content hash of a configuration: the tuple of its field values.
 
     Two configurations with equal fields share cache entries regardless
-    of object identity; any new :class:`~repro.config.DDCConfig` field
-    automatically extends the key.
+    of object identity; any new configuration field automatically
+    extends the key.  Works for any workload's frozen configuration
+    dataclass (for :class:`~repro.config.DDCConfig` the tuple is
+    unchanged from when this helper was DDC-specific, so cache keys and
+    checkpoint digests carry over).
     """
-    return tuple(getattr(config, f.name) for f in fields(DDCConfig))
+    return tuple(getattr(config, f.name) for f in fields(type(config)))
 
 
 class ReportCache:
@@ -614,3 +617,9 @@ class DDCEvaluator:
         return ScenarioAnalysis(
             self.scenario_candidates_batch([config], standby_fraction)[0]
         )
+
+
+#: The evaluator is workload-agnostic — nothing in it is DDC-specific
+#: beyond the default ``models=None`` fallback — so the workload layer
+#: (:mod:`repro.workloads`) addresses it under the generic name.
+WorkloadEvaluator = DDCEvaluator

@@ -16,8 +16,9 @@ import argparse
 import sys
 import time
 
-from ..core.evaluator import DDCEvaluator, ReportCache, shared_evaluator
+from ..core.evaluator import ReportCache
 from ..errors import ConfigurationError, ReproError
+from ..workloads import get as get_workload
 from .refine import run_explore
 from .report import FORMATS
 from .spec import ExploreSpec
@@ -72,6 +73,7 @@ def build_spec(args: argparse.Namespace) -> ExploreSpec:
         seed=args.seed,
         max_evaluations=args.budget,
         on_error=args.on_error,
+        workload=args.workload,
         **kwargs,
     )
 
@@ -82,10 +84,19 @@ def main(argv: list[str] | None = None) -> int:
         description="Design-space exploration: Pareto frontiers over "
         "configuration axes with adaptive refinement.",
     )
+    from ..workloads import available, default_name
+
+    parser.add_argument(
+        "--workload", default=default_name(), metavar="NAME",
+        help="workload to explore, one of: "
+        f"{', '.join(available())} (default: %(default)s, i.e. "
+        "$REPRO_WORKLOAD or ddc)",
+    )
     parser.add_argument(
         "--axis", default=None, metavar="FIELD=LO:HI",
-        help="continuous refinement axis (default: input_rate_hz over "
-        "the reference space)",
+        help="continuous refinement axis (default: the workload's "
+        "reference axis; for ddc, input_rate_hz over the reference "
+        "space)",
     )
     parser.add_argument(
         "--coarse", type=int, default=5,
@@ -180,19 +191,22 @@ def main(argv: list[str] | None = None) -> int:
             # Fresh caches/evaluators per engine so the comparison (and
             # the timing) is cold-start honest on both sides; warm the
             # import paths first so neither pays first-call costs.
+            workload = get_workload(spec.workload)
             warm = ExploreSpec(
                 axis=spec.axis, coarse_steps=2, target_steps=2,
-                duty_cycle_steps=2,
+                duty_cycle_steps=2, workload=spec.workload,
             )
-            run_explore(warm, "adaptive", DDCEvaluator(cache=ReportCache()))
-            run_explore(warm, "dense", DDCEvaluator())
+            run_explore(
+                warm, "adaptive", workload.evaluator(cache=ReportCache())
+            )
+            run_explore(warm, "dense", workload.evaluator())
             t0 = time.perf_counter()
             adaptive = run_explore(
-                spec, "adaptive", DDCEvaluator(cache=ReportCache())
+                spec, "adaptive", workload.evaluator(cache=ReportCache())
             )
             t_adaptive = time.perf_counter() - t0
             t0 = time.perf_counter()
-            dense = run_explore(spec, "dense", DDCEvaluator())
+            dense = run_explore(spec, "dense", workload.evaluator())
             t_dense = time.perf_counter() - t0
             adaptive_bytes = adaptive.render(args.format).encode()
             dense_bytes = dense.render(args.format).encode()
@@ -219,7 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         store = ReportStore(args.store) if args.store else None
         evaluator = None
         if args.engine == "adaptive":
-            evaluator = shared_evaluator()
+            evaluator = get_workload(spec.workload).shared_evaluator()
             if store is not None:
                 loaded = store.load(evaluator.cache, evaluator.models)
                 print(

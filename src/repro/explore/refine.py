@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..config import DDCConfig
-from ..core.evaluator import DDCEvaluator, shared_evaluator
+from ..core.evaluator import DDCEvaluator
 from ..energy.scenarios import ScenarioAnalysis
 from ..errors import ConfigurationError, MappingError, PartialResultError
 from ..faults import fault_point
@@ -476,11 +476,13 @@ def run_explore(
 ):
     """Explore the space; returns a :class:`~repro.explore.report.ExploreReport`.
 
-    ``engine="adaptive"`` defaults to the per-process
-    :func:`~repro.core.evaluator.shared_evaluator` (so repeated
+    ``engine="adaptive"`` defaults to the spec's workload's
+    :meth:`~repro.workloads.base.Workload.shared_evaluator` (for the
+    default DDC workload, the per-process
+    :func:`~repro.core.evaluator.shared_evaluator`, so repeated
     explorations — and a store-warmed report cache — amortise model
     work); ``engine="dense"`` defaults to a fresh uncached
-    :class:`~repro.core.evaluator.DDCEvaluator` running the scalar
+    :meth:`~repro.workloads.base.Workload.evaluator` running the scalar
     oracle end to end.
 
     ``store`` (a :class:`~repro.explore.store.ReportStore`, adaptive
@@ -501,8 +503,11 @@ def run_explore(
             "checkpoint/resume (store=) needs the adaptive engine"
         )
     points = spec.points()
+    from ..workloads import get as get_workload
+
+    workload = get_workload(getattr(spec, "workload", "ddc"))
     if engine == "dense":
-        ev = evaluator if evaluator is not None else DDCEvaluator()
+        ev = evaluator if evaluator is not None else workload.evaluator()
         # The per-model batch-report labels (a per-model constant, also
         # used for models that map nothing anywhere).
         labels = [m.implement_batch([]).architecture for m in ev.models]
@@ -531,7 +536,7 @@ def run_explore(
         _check_not_all_failed(spec, results)
         return ExploreReport(spec, results, evaluations)
 
-    ev = evaluator if evaluator is not None else shared_evaluator()
+    ev = evaluator if evaluator is not None else workload.shared_evaluator()
     checkpoint = (
         store.load_checkpoint(spec, ev.models) if store is not None else None
     )

@@ -27,15 +27,19 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from ..config import DDCConfig, REFERENCE_DDC
+from ..config import DDCConfig
 from ..errors import ConfigurationError
 from ..resilience import check_on_error
 
-#: DDCConfig fields a discrete axis may range over.
+#: DDCConfig fields a discrete axis may range over (the default
+#: workload's axes; other workloads validate against their own
+#: configuration via :meth:`repro.workloads.base.Workload.check_axes`).
 CONFIG_AXES: tuple[str, ...] = tuple(f.name for f in fields(DDCConfig))
 
 #: DDCConfig fields the continuous refinement axis may range over (the
-#: float-typed fields — integer fields belong on discrete axes).
+#: float-typed fields — integer fields belong on discrete axes; other
+#: workloads declare theirs via
+#: :meth:`repro.workloads.base.Workload.continuous_axes`).
 CONTINUOUS_AXES: tuple[str, ...] = ("input_rate_hz", "nco_frequency_hz")
 
 #: Report quantities an objective may minimise.  ``area_mm2`` treats a
@@ -74,13 +78,19 @@ class ExploreSpec:
 
     Parameters
     ----------
+    workload:
+        Registry name of the workload being explored
+        (:func:`repro.workloads.get`).  Stored as the *name* so specs
+        stay picklable; the default ``"ddc"`` is the paper's kernel.
     axis:
         ``(field, lo, hi)`` — the continuous refinement axis, a float
-        :class:`DDCConfig` field swept over ``[lo, hi]`` on a regular
-        ``target_steps`` grid.  Every bound configuration must be
-        constructible (e.g. keep ``input_rate_hz`` above twice the NCO
-        frequency) — a value that is not raises the configuration's own
-        error at evaluation time, in either engine.
+        configuration field swept over ``[lo, hi]`` on a regular
+        ``target_steps`` grid (``None`` = the workload's
+        :meth:`~repro.workloads.base.Workload.default_explore_axis`).
+        Every bound configuration must be constructible (e.g. keep
+        ``input_rate_hz`` above twice the NCO frequency) — a value that
+        is not raises the configuration's own error at evaluation time,
+        in either engine.
     coarse_steps:
         Size of the initial coarse grid (>= 2).  ``(target_steps - 1)``
         must be ``(coarse_steps - 1) * 2**k`` so bisection lands exactly
@@ -124,15 +134,11 @@ class ExploreSpec:
         partial.
     """
 
-    axis: tuple[str, float, float] = (
-        "input_rate_hz",
-        24_192_000.0,
-        96_768_000.0,
-    )
+    axis: tuple[str, float, float] | None = None
     coarse_steps: int = 5
     target_steps: int = 65
     discrete_axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
-    base_config: DDCConfig = REFERENCE_DDC
+    base_config: Any | None = None
     duty_cycle_steps: int = 101
     objectives: tuple[str, ...] = ("power_w", "area_mm2")
     architectures: tuple[str, ...] | None = None
@@ -141,18 +147,29 @@ class ExploreSpec:
     seed: int = 0
     max_evaluations: int | None = None
     on_error: str = "raise"
+    workload: str = "ddc"
 
     def __post_init__(self) -> None:
+        from ..workloads import get as get_workload
+
+        wl = get_workload(self.workload)
+        if self.axis is None:
+            object.__setattr__(self, "axis", wl.default_explore_axis())
+        if self.base_config is None:
+            object.__setattr__(self, "base_config", wl.default_config)
+        else:
+            wl.check_config(self.base_config)
         check_on_error(self.on_error)
         if len(self.axis) != 3:
             raise ConfigurationError(
                 f"axis must be (field, lo, hi), got {self.axis!r}"
             )
         field, lo, hi = self.axis
-        if field not in CONTINUOUS_AXES:
+        continuous = wl.continuous_axes()
+        if field not in continuous:
             raise ConfigurationError(
                 f"continuous axis {field!r} must be one of "
-                f"{', '.join(CONTINUOUS_AXES)}; integer fields belong on "
+                f"{', '.join(continuous)}; integer fields belong on "
                 "discrete_axes"
             )
         if not (float(lo) < float(hi)):
@@ -180,11 +197,6 @@ class ExploreSpec:
                     f"{axis!r}"
                 )
             name, values = axis
-            if name not in CONFIG_AXES:
-                raise ConfigurationError(
-                    f"unknown discrete axis {name!r}; DDCConfig fields are "
-                    f"{', '.join(CONFIG_AXES)}"
-                )
             if name in seen:
                 raise ConfigurationError(f"duplicate axis {name!r}")
             seen.add(name)
@@ -193,6 +205,7 @@ class ExploreSpec:
                     f"discrete axis {name!r} needs a non-empty tuple of "
                     "values"
                 )
+        wl.check_axes(self.discrete_axes, kind="discrete")
         if self.duty_cycle_steps < 2:
             raise ConfigurationError("duty_cycle_steps must be >= 2")
         if not self.objectives:
@@ -296,7 +309,7 @@ class ExploreSpec:
             out.append(ExplorePoint(index, tuple(zip(names, combo))))
         return out
 
-    def config_at(self, point: ExplorePoint, index: int) -> DDCConfig:
+    def config_at(self, point: ExplorePoint, index: int) -> Any:
         """Bind one (discrete point, axis index) cell to a configuration."""
         overrides: dict[str, Any] = dict(point.overrides)
         overrides[self.axis[0]] = self.value_at(index)
@@ -305,6 +318,7 @@ class ExploreSpec:
     def describe(self) -> dict[str, Any]:
         """JSON-ready summary of the search space (for report headers)."""
         return {
+            "workload": self.workload,
             "axis": {
                 "field": self.axis[0],
                 "lo": self.axis[1],

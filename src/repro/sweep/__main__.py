@@ -60,6 +60,7 @@ def build_spec(args: argparse.Namespace) -> SweepSpec:
         architectures=architectures,
         standby_fraction=args.standby_fraction,
         on_error=args.on_error,
+        workload=args.workload,
     )
 
 
@@ -68,10 +69,19 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.sweep",
         description="Batched scenario sweeps over configuration grids.",
     )
+    from ..workloads import available, default_name
+
+    parser.add_argument(
+        "--workload", default=default_name(), metavar="NAME",
+        help="workload to sweep, one of: "
+        f"{', '.join(available())} (default: %(default)s, i.e. "
+        "$REPRO_WORKLOAD or ddc)",
+    )
     parser.add_argument(
         "--axis", action="append", default=[], metavar="FIELD=V1,V2,...",
-        help="add a DDCConfig sweep axis (repeatable); no axes = the "
-        "reference configuration, i.e. the Table 7 scenario grid",
+        help="add a configuration sweep axis over the workload's fields "
+        "(repeatable); no axes = the workload's reference configuration "
+        "(for ddc, the Table 7 scenario grid)",
     )
     parser.add_argument(
         "--steps", type=int, default=101,

@@ -38,7 +38,6 @@ from typing import Any
 
 import numpy as np
 
-from ..core.evaluator import DDCEvaluator, shared_evaluator
 from ..energy.scenarios import (
     ScenarioAnalysis,
     ScenarioCandidate,
@@ -205,6 +204,18 @@ def _check_engine(engine: str) -> None:
         )
 
 
+def _spec_workload(spec: SweepSpec):
+    """Resolve the spec's workload through the per-process registry.
+
+    Specs carry the workload *name* (picklable); each worker process
+    resolves it here, so the batch engine's shared evaluator — and its
+    report cache — is per process, exactly as before the workload layer.
+    """
+    from ..workloads import get
+
+    return get(getattr(spec, "workload", "ddc"))
+
+
 def point_candidates(
     spec: SweepSpec, point: SweepPoint, engine: str = "batch"
 ) -> list[ScenarioCandidate]:
@@ -220,12 +231,13 @@ def point_candidates(
     """
     _check_engine(engine)
     config = spec.config_at(point)
+    workload = _spec_workload(spec)
     if engine == "batch":
-        candidates = shared_evaluator().scenario_candidates_batch(
+        candidates = workload.shared_evaluator().scenario_candidates_batch(
             [config], spec.standby_fraction, strict=False
         )[0]
     else:
-        candidates = DDCEvaluator().scenario_candidates(
+        candidates = workload.evaluator().scenario_candidates(
             config, spec.standby_fraction, strict=False
         )
     return select_candidates(candidates, spec.architectures)
@@ -455,7 +467,7 @@ def _candidate_outcomes(
     before); the tolerant path captures per-config errors instead of
     raising so one broken configuration cannot take the axis down.
     """
-    ev = shared_evaluator()
+    ev = _spec_workload(spec).shared_evaluator()
     if not tolerant:
         return [
             (candidates, None)

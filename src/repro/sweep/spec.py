@@ -18,12 +18,14 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from ..config import DDCConfig, REFERENCE_DDC
+from ..config import DDCConfig
 from ..energy.scenarios import duty_grid
 from ..errors import ConfigurationError
 from ..resilience import check_on_error
 
-#: DDCConfig fields a sweep axis may range over.
+#: DDCConfig fields a sweep axis may range over (the default workload's
+#: axes; other workloads validate against their own configuration via
+#: :meth:`repro.workloads.base.Workload.check_axes`).
 CONFIG_AXES: tuple[str, ...] = tuple(
     f.name for f in fields(DDCConfig)
 )
@@ -53,13 +55,20 @@ class SweepSpec:
 
     Parameters
     ----------
+    workload:
+        Registry name of the workload being swept
+        (:func:`repro.workloads.get`); the default ``"ddc"`` is the
+        paper's kernel.  Stored as the *name*, not the instance, so
+        specs stay picklable and process-pool workers resolve the
+        workload (and its per-process shared evaluator) lazily.
     axes:
-        Ordered ``(field, values)`` pairs; each field must be a
-        :class:`DDCConfig` field.  The grid is the cartesian product in
-        axis order (first axis varies slowest).  Empty = a single point,
-        the base configuration.
+        Ordered ``(field, values)`` pairs; each field must be a field of
+        the workload's configuration dataclass.  The grid is the
+        cartesian product in axis order (first axis varies slowest).
+        Empty = a single point, the base configuration.
     base_config:
-        Configuration the axis overrides are applied to.
+        Configuration the axis overrides are applied to (``None`` =
+        the workload's default configuration).
     duty_cycle_steps:
         Size of the regular duty-cycle grid 0..1 (>= 2).
     architectures:
@@ -78,13 +87,21 @@ class SweepSpec:
     """
 
     axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
-    base_config: DDCConfig = REFERENCE_DDC
+    base_config: Any | None = None
     duty_cycle_steps: int = 101
     architectures: tuple[str, ...] | None = None
     standby_fraction: float = 0.05
     on_error: str = "raise"
+    workload: str = "ddc"
 
     def __post_init__(self) -> None:
+        from ..workloads import get as get_workload
+
+        wl = get_workload(self.workload)
+        if self.base_config is None:
+            object.__setattr__(self, "base_config", wl.default_config)
+        else:
+            wl.check_config(self.base_config)
         check_on_error(self.on_error)
         seen: set[str] = set()
         for axis in self.axes:
@@ -93,11 +110,6 @@ class SweepSpec:
                     f"axis must be a (field, values) pair, got {axis!r}"
                 )
             name, values = axis
-            if name not in CONFIG_AXES:
-                raise ConfigurationError(
-                    f"unknown sweep axis {name!r}; DDCConfig fields are "
-                    f"{', '.join(CONFIG_AXES)}"
-                )
             if name in seen:
                 raise ConfigurationError(f"duplicate sweep axis {name!r}")
             seen.add(name)
@@ -105,6 +117,7 @@ class SweepSpec:
                 raise ConfigurationError(
                     f"axis {name!r} needs a non-empty tuple of values"
                 )
+        wl.check_axes(self.axes, kind="sweep")
         if self.duty_cycle_steps < 2:
             raise ConfigurationError("duty_cycle_steps must be >= 2")
         if not 0.0 <= self.standby_fraction <= 1.0:
@@ -164,7 +177,7 @@ class SweepSpec:
             out.append(SweepPoint(index, tuple(zip(names, combo))))
         return out
 
-    def config_at(self, point: SweepPoint) -> DDCConfig:
+    def config_at(self, point: SweepPoint) -> Any:
         """Bind one grid point to a concrete configuration."""
         if not point.overrides:
             return self.base_config
@@ -173,6 +186,7 @@ class SweepSpec:
     def describe(self) -> dict[str, Any]:
         """JSON-ready summary of the grid (for report headers)."""
         return {
+            "workload": self.workload,
             "axes": {name: list(values) for name, values in self.axes},
             "n_points": self.n_points,
             "duty_cycle_steps": self.duty_cycle_steps,

@@ -1,0 +1,182 @@
+"""The :class:`Workload` protocol — what a kernel must declare to ride
+the whole stack.
+
+The paper evaluates exactly one kernel (the DRM channel-selection DDC)
+across five architectures; the surrounding machinery — batched
+architecture models, scenario sweeps, Pareto exploration, fault
+tolerance, the bench guard — is kernel-agnostic once a workload says
+
+- what its **configuration** looks like (a frozen dataclass of
+  primitives, the unit the report cache keys on),
+- which **architecture models** realise it (each an
+  :class:`~repro.archs.base.ArchitectureModel` honouring the
+  batch == scalar bit-identity contract),
+- which configuration fields form its **scenario axes** (discrete sweep
+  values and the continuous explore axis), and
+- how the dataflow is **mapped** per architecture (functional run hooks
+  plus the chain/fixed-point declarations the docs and conformance
+  tests read).
+
+Everything downstream is inherited: a registered workload immediately
+works with ``python -m repro.sweep --workload NAME``, ``python -m
+repro.explore --workload NAME``, ``repro.parallel`` process pools, the
+``on_error`` failure policies, and a ``<name>_sweep`` bench entry.  The
+conformance suite (``tests/test_workloads.py``) asserts the contract
+over every registered workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..archs.base import ArchitectureModel
+from ..config import StageConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadMapping:
+    """One architecture's mapping of a workload's dataflow.
+
+    ``run`` is the functional entry point (``run(samples, config)`` or a
+    documented equivalent) where an executable mapping exists in-tree —
+    e.g. the Montium tile schedule or the RTL block engine for the DDC.
+    ``None`` marks an analytic-only mapping (the model reports
+    clock/power/area without a sample-level executor).
+    """
+
+    architecture: str
+    description: str
+    run: Callable[..., Any] | None = None
+
+
+class Workload(ABC):
+    """A kernel the evaluation stack can sweep, explore and benchmark.
+
+    Subclasses declare identity (:attr:`name`, :attr:`title`), the
+    configuration dataclass (:attr:`config_cls` / :attr:`default_config`)
+    and the architecture models (:meth:`models`); the base class derives
+    the rest — evaluators, axes, cache sharing — from those.
+    """
+
+    #: Registry key (``--workload NAME`` / ``REPRO_WORKLOAD``).
+    name: str = "abstract"
+    #: One-line human description for ``--help`` and reports.
+    title: str = ""
+    #: The frozen configuration dataclass of primitives.
+    config_cls: type = object
+
+    def __init__(self) -> None:
+        self._shared_evaluator = None
+
+    # ------------------------------------------------------------- identity
+    @property
+    def default_config(self) -> Any:
+        """The reference configuration (the dataclass defaults)."""
+        return self.config_cls()
+
+    @abstractmethod
+    def models(self) -> list[ArchitectureModel]:
+        """Fresh architecture-model instances, report order."""
+
+    # ----------------------------------------------------------- evaluators
+    def evaluator(self, cache=None):
+        """A fresh evaluator over this workload's models.
+
+        ``cache=None`` is the scalar-oracle behaviour sweeps verify
+        against; pass a :class:`~repro.core.evaluator.ReportCache` to
+        memoise per-(model, configuration) reports.
+        """
+        from ..core.evaluator import WorkloadEvaluator
+
+        return WorkloadEvaluator(models=self.models(), cache=cache)
+
+    def shared_evaluator(self):
+        """The per-process cached evaluator grid consumers share.
+
+        Lazily built once per workload instance (the registry caches
+        instances per process) with its own
+        :class:`~repro.core.evaluator.ReportCache`; the DDC workload
+        overrides this to return the process-wide
+        :func:`~repro.core.evaluator.shared_evaluator` so existing
+        consumers keep sharing one cache.
+        """
+        if self._shared_evaluator is None:
+            from ..core.evaluator import ReportCache
+
+            self._shared_evaluator = self.evaluator(cache=ReportCache())
+        return self._shared_evaluator
+
+    # ----------------------------------------------------------------- axes
+    def config_axes(self) -> tuple[str, ...]:
+        """Configuration fields a sweep/discrete axis may range over."""
+        return tuple(f.name for f in dataclasses.fields(self.config_cls))
+
+    def continuous_axes(self) -> tuple[str, ...]:
+        """Fields the continuous explore axis may range over.
+
+        Default: the float-typed configuration fields (integer fields
+        belong on discrete axes).
+        """
+        return tuple(
+            f.name
+            for f in dataclasses.fields(self.config_cls)
+            if isinstance(f.default, float)
+        )
+
+    @abstractmethod
+    def default_explore_axis(self) -> tuple[str, float, float]:
+        """``(field, lo, hi)`` — the reference continuous search axis."""
+
+    @abstractmethod
+    def scenario_axes(self) -> Mapping[str, tuple[Any, ...]]:
+        """Suggested sweep axes: field name -> interesting values.
+
+        The workload's own "Table 7 neighbourhood": every value bound to
+        the default configuration must leave at least one architecture
+        feasible (the conformance suite and the ``<name>_sweep`` bench
+        both grid over exactly these axes).
+        """
+
+    # ------------------------------------------------------------- dataflow
+    @abstractmethod
+    def chain(self, config: Any | None = None) -> tuple[StageConfig, ...]:
+        """The DSP chain as :class:`~repro.config.StageConfig` stages."""
+
+    @abstractmethod
+    def fixed_formats(self, config: Any | None = None) -> Mapping[str, Any]:
+        """Signal name -> fixed-point format at the declared chain seams."""
+
+    @abstractmethod
+    def mappings(self) -> Mapping[str, WorkloadMapping]:
+        """Per-architecture mapping descriptors, keyed by a short slug."""
+
+    # ------------------------------------------------------------ validation
+    def check_config(self, config: Any) -> Any:
+        """Reject configurations of the wrong workload early and legibly."""
+        if not isinstance(config, self.config_cls):
+            raise ConfigurationError(
+                f"workload {self.name!r} expects a "
+                f"{self.config_cls.__name__} configuration, got "
+                f"{type(config).__name__}"
+            )
+        return config
+
+    def check_axes(
+        self, axes: Sequence[tuple[str, Any]], kind: str = "sweep"
+    ) -> None:
+        """Validate axis field names against this workload's config."""
+        known = self.config_axes()
+        for name, _ in axes:
+            if name not in known:
+                raise ConfigurationError(
+                    f"unknown {kind} axis {name!r}; workload "
+                    f"{self.name!r} ({self.config_cls.__name__}) fields "
+                    f"are {', '.join(known)}"
+                )
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name!r}: {self.title}>"

@@ -175,7 +175,7 @@ class TestRTLDDCBlockMode:
         )
 
     def test_block_matches_fixed_ddc(self, adc):
-        res = RTLDDC().run(adc, mode="block")
+        res = RTLDDC().run(adc, engine="block")
         i_ref, q_ref = FixedDDC().process(adc)
         np.testing.assert_array_equal(res.i, i_ref)
         np.testing.assert_array_equal(res.q, q_ref)
@@ -187,7 +187,7 @@ class TestRTLDDCBlockMode:
         rtl = RTLDDC()
         i_parts, q_parts = [], []
         for b in _split(adc, cuts):
-            res = rtl.run(b, mode="block", activity=False)
+            res = rtl.run(b, engine="block", activity=False)
             i_parts.append(res.i)
             q_parts.append(res.q)
         i_ref, q_ref = FixedDDC().process(adc)
@@ -196,7 +196,7 @@ class TestRTLDDCBlockMode:
 
     def test_block_matches_cycle_exactly(self, adc):
         cyc = RTLDDC().run(adc)
-        blk = RTLDDC().run(adc, mode="block")
+        blk = RTLDDC().run(adc, engine="block")
         n = min(len(cyc.i), len(blk.i))
         assert n >= 2
         np.testing.assert_array_equal(blk.i[:n], cyc.i[:n])
@@ -206,7 +206,7 @@ class TestRTLDDCBlockMode:
     def test_block_activity_matches_cycle(self, adc):
         """The analytic report reproduces every wire's toggle count."""
         cyc = RTLDDC().run(adc)
-        blk = RTLDDC().run(adc, mode="block")
+        blk = RTLDDC().run(adc, engine="block")
         for wa in cyc.activity.wires:
             wb = blk.activity.by_name(wa.name)
             assert wa.toggles == wb.toggles, wa.name
@@ -216,9 +216,9 @@ class TestRTLDDCBlockMode:
         )
 
     def test_activity_opt_out(self, adc):
-        res = RTLDDC().run(adc, mode="block", activity=False)
+        res = RTLDDC().run(adc, engine="block", activity=False)
         assert res.activity.mean_toggle_rate == 0.0
-        res_c = RTLDDC().run(adc, mode="cycle", activity=False)
+        res_c = RTLDDC().run(adc, engine="cycle", activity=False)
         assert res_c.activity.mean_toggle_rate == 0.0
         i_ref, _ = FixedDDC().process(adc)
         np.testing.assert_array_equal(res.i, i_ref)
@@ -721,8 +721,8 @@ class TestMontiumBlockEquivalence:
         x = quantize_to_adc(
             tone(n, cfg.nco_frequency_hz + 5e3, cfg.input_rate_hz, 0.8), 12
         )
-        blk = run_ddc_on_tile(x, mode="block")
-        stp = run_ddc_on_tile(x, mode="step")
+        blk = run_ddc_on_tile(x, engine="block")
+        stp = run_ddc_on_tile(x, engine="step")
         np.testing.assert_array_equal(blk.i, stp.i)
         np.testing.assert_array_equal(blk.q, stp.q)
         assert blk.cycles == stp.cycles == n
@@ -756,7 +756,7 @@ class TestMontiumBlockEquivalence:
 
         n = 2688 * 2
         x = np.arange(n) % 1000 - 500
-        res = run_ddc_on_tile(x.astype(np.int64), mode="block")
+        res = run_ddc_on_tile(x.astype(np.int64), engine="block")
         static = analyze_schedule(res.program)
         dynamic = measured_occupancy(res.tile)
         for row in static.rows:
