@@ -25,6 +25,11 @@ def main(argv: list[str] | None = None) -> int:
         help="smaller inputs / fewer repeats (CI smoke mode)",
     )
     parser.add_argument(
+        "--list", action="store_true",
+        help="print the known bench names (one per line, guarded benches "
+        "marked) and exit",
+    )
+    parser.add_argument(
         "--only", metavar="BENCH[,BENCH...]",
         help="run only the named benches (known: %s); a partial run "
         "writes bench-measured.json unless --output is given explicitly"
@@ -45,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
         "(default: %(default)s)",
     )
     args = parser.parse_args(argv)
+
+    if args.list:
+        for name in BENCH_NAMES:
+            suffix = "  [guarded]" if name in GUARDED_BENCHES else ""
+            print(f"{name}{suffix}")
+        return 0
 
     only = None
     if args.only:

@@ -63,8 +63,9 @@ def load_report(path: str | Path) -> dict:
 #: grid of ``repro.sweep``, the batched architecture-model layer
 #: (``implement_batch`` vs the scalar loop), the adaptive design-space
 #: explorer of ``repro.explore``, the fault-tolerant sweep path
-#: (retry recovery under injection) and the non-default workloads'
-#: scenario grids (``repro.workloads``).
+#: (retry recovery under injection), the non-default workloads'
+#: scenario grids (``repro.workloads``) and the population Monte-Carlo
+#: engine (``repro.montecarlo``).
 GUARDED_BENCHES = (
     "nco",
     "cic",
@@ -80,6 +81,7 @@ GUARDED_BENCHES = (
     "sweep_faulty",
     "drm_sweep",
     "ofdm_sweep",
+    "montecarlo_population",
 )
 
 

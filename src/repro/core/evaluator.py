@@ -538,6 +538,24 @@ class DDCEvaluator:
             self.report_batches(configs), configs, standby_fraction, strict
         )
 
+    def scenario_candidate_outcomes_batch(
+        self,
+        configs: Sequence[DDCConfig],
+        standby_fraction: float = 0.05,
+    ) -> list[tuple[list[ScenarioCandidate] | None, Exception | None]]:
+        """Batched tolerant candidate evaluation over a configuration axis.
+
+        The public one-call entry the Monte-Carlo population engine rides:
+        one ``implement_batch`` per model over the *distinct* configs,
+        then the error-channel candidate builder
+        (:meth:`scenario_candidate_outcomes_from_batches`), so a million
+        sampled users cost only as many model evaluations as there are
+        distinct configurations.
+        """
+        return self.scenario_candidate_outcomes_from_batches(
+            self.report_batches(configs), configs, standby_fraction
+        )
+
     def scenario_candidates_from_batches(
         self,
         batches: Sequence[BatchImplementationReport],

@@ -76,7 +76,9 @@ class ScenarioCandidate:
     def effective_power_w(self, duty_cycle: float) -> float:
         """Average power attributable to the DDC function at ``duty_cycle``."""
         if not 0.0 <= duty_cycle <= 1.0:
-            raise ConfigurationError("duty cycle must be in [0, 1]")
+            raise ConfigurationError(
+                f"duty cycle {duty_cycle!r} is outside [0, 1]"
+            )
         idle = self.idle_power_w
         return duty_cycle * self.active_power_w + (1 - duty_cycle) * idle
 
@@ -95,6 +97,72 @@ def duty_grid(steps: int) -> np.ndarray:
     if steps < 2:
         raise ConfigurationError("steps must be >= 2")
     return np.arange(steps) / (steps - 1)
+
+
+def check_duty_cycles(duty_cycles) -> np.ndarray:
+    """Validate a 1-D float64 duty-cycle array, naming the offender.
+
+    The shared gatekeeper of every batched duty-cycle consumer
+    (:meth:`ScenarioAnalysis.cost_batch`, the sweep grids, the
+    Monte-Carlo population engine): a value outside ``[0, 1]`` — or a
+    ``nan``, which the old ``min()``/``max()`` check silently let
+    through while the scalar path raised — fails with a
+    :class:`~repro.errors.ConfigurationError` naming the first
+    offending value and its position, instead of silently extrapolating
+    negative idle energy.
+    """
+    d = np.asarray(duty_cycles, dtype=np.float64)
+    if d.ndim != 1:
+        raise ConfigurationError("duty_cycles must be one-dimensional")
+    if d.size == 0:
+        raise ConfigurationError("need at least one duty cycle")
+    ok = (d >= 0.0) & (d <= 1.0)  # nan compares False on both sides
+    if not ok.all():
+        i = int(np.argmin(ok))
+        raise ConfigurationError(
+            f"duty cycle {float(d[i])!r} at index {i} is outside [0, 1]"
+        )
+    return d
+
+
+def effective_power_samples(
+    active_w: np.ndarray, idle_w: np.ndarray, duty_cycles: np.ndarray
+) -> np.ndarray:
+    """Per-sample effective powers in one fused pass.
+
+    The sample-wise twin of :meth:`ScenarioAnalysis.cost_batch`: row
+    ``k`` of ``active_w``/``idle_w`` holds the candidate powers seen by
+    sample ``k`` (``nan`` marks an infeasible candidate), and the result
+    ``[k, j]`` is ``d_k * active[k, j] + (1 - d_k) * idle[k, j]`` — the
+    same operation order as the scalar
+    :meth:`ScenarioCandidate.effective_power_w` in IEEE-754 double
+    precision, so every element is bit-identical to the scalar call.
+    ``duty_cycles`` must already be validated (:func:`check_duty_cycles`).
+    """
+    d = np.asarray(duty_cycles, dtype=np.float64)
+    out = active_w * d[:, None]
+    out += idle_w * (1.0 - d)[:, None]
+    return out
+
+
+def winner_counts(
+    powers_w: np.ndarray, bin_indices: np.ndarray, n_bins: int
+) -> np.ndarray:
+    """Bincount-weighted winner aggregation over per-sample powers.
+
+    ``counts[b, j]`` is the number of samples in duty bin ``b`` whose
+    cheapest candidate is column ``j`` — the first minimum wins ties,
+    matching the scalar path's ``min`` over an insertion-ordered dict.
+    Samples whose row is all-``nan`` (no feasible candidate / dropped)
+    are counted nowhere.
+    """
+    n, a = powers_w.shape
+    nans = np.isnan(powers_w)
+    masked = np.where(nans, np.inf, powers_w)
+    valid = ~nans.all(axis=1)
+    winners = np.argmin(masked, axis=1)
+    flat = bin_indices[valid] * a + winners[valid]
+    return np.bincount(flat, minlength=n_bins * a).reshape(n_bins, a)
 
 
 @dataclass(frozen=True)
@@ -187,13 +255,7 @@ class ScenarioAnalysis:
         :meth:`ScenarioCandidate.effective_power_w` (same operation order
         in IEEE-754 double precision).
         """
-        d = np.asarray(duty_cycles, dtype=np.float64)
-        if d.ndim != 1:
-            raise ConfigurationError("duty_cycles must be one-dimensional")
-        if d.size == 0:
-            raise ConfigurationError("need at least one duty cycle")
-        if float(d.min()) < 0.0 or float(d.max()) > 1.0:
-            raise ConfigurationError("duty cycles must be in [0, 1]")
+        d = check_duty_cycles(duty_cycles)
         active = np.array([c.active_power_w for c in self.candidates])
         idle = np.array([c.idle_power_w for c in self.candidates])
         return d[:, None] * active[None, :] + (1 - d)[:, None] * idle[None, :]

@@ -25,6 +25,7 @@ from .figures import (
     figure9,
     figure_duty_cycle,
     figure_pareto,
+    figure_population,
 )
 from .scenarios import section7_scenarios
 
@@ -45,5 +46,6 @@ __all__ = [
     "figure9",
     "figure_duty_cycle",
     "figure_pareto",
+    "figure_population",
     "section7_scenarios",
 ]

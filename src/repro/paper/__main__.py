@@ -25,6 +25,7 @@ from . import (
     figure9,
     figure_duty_cycle,
     figure_pareto,
+    figure_population,
     section7_scenarios,
     table1,
     table2,
@@ -59,6 +60,7 @@ FIGURES = {
     "figure9": figure9,
     "figure_duty_cycle": figure_duty_cycle,
     "figure_pareto": figure_pareto,
+    "figure_population": figure_population,
 }
 
 

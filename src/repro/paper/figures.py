@@ -190,6 +190,49 @@ def figure_pareto(
     )
 
 
+def figure_population(
+    n_samples: int = 200_000, seed: int = 0
+) -> FigureResult:
+    """Population energy distributions (executable: repro.montecarlo).
+
+    Not a numbered figure in the paper — its conclusion weighs the
+    architectures for a *single* operating point — but the population
+    view of that argument: a seeded Monte-Carlo population of users
+    (the workload's declared duty-cycle and configuration-axis
+    distributions) pushed through the vectorised scenario engine in one
+    pass.  Shown per architecture: p50/p95/p99 effective power and
+    battery life, the overall winner probability, and the
+    winner-probability map over duty-cycle bins.  The payload is the
+    full :class:`~repro.montecarlo.PopulationReport`.
+    """
+    from ..montecarlo import PopulationSpec, run_population
+
+    spec = PopulationSpec(workload="ddc", n_samples=n_samples, seed=seed)
+    report = run_population(spec)
+    lines = [report.summary()]
+    lines.append("winner probability by duty-cycle bin:")
+    bins = spec.duty_bins
+    for b in range(bins):
+        cells = {
+            a.name: a.win_probability_by_duty[b]
+            for a in report.architectures
+        }
+        if all(p is None for p in cells.values()):
+            continue
+        top = max(cells, key=lambda k: cells[k] or 0.0)
+        share = cells[top] or 0.0
+        bar = "#" * round(20 * share)
+        lines.append(
+            f"  {b / bins:5.0%} .. {(b + 1) / bins:5.0%}  "
+            f"{top:<28} {share:6.1%} {bar}"
+        )
+    return FigureResult(
+        "Figure S9: population energy distributions (Monte-Carlo)",
+        "\n".join(lines),
+        report,
+    )
+
+
 def figure9(cycles: int = 40) -> FigureResult:
     """Fig. 9: the first 40 clock cycles of the Montium DDC schedule."""
     from ..archs.montium.ddc_mapping import build_ddc_schedule

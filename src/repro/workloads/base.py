@@ -154,6 +154,37 @@ class Workload(ABC):
     def mappings(self) -> Mapping[str, WorkloadMapping]:
         """Per-architecture mapping descriptors, keyed by a short slug."""
 
+    # ------------------------------------------------------- population (MC)
+    def population_axes(self) -> Mapping[str, Any]:
+        """Default Monte-Carlo distributions over the discrete axes.
+
+        Field name -> :class:`~repro.montecarlo.spec.Distribution` drawn
+        per sampled user.  The default is an unweighted
+        :class:`~repro.montecarlo.spec.Choice` over each
+        :meth:`scenario_axes` value set; workloads with an opinion about
+        their user population (how many channels a typical receiver
+        decodes, say) override this with weighted or trace-replay
+        distributions.  Config axes must stay *discrete* so the engine's
+        unique-point deduplication keeps model evaluations proportional
+        to distinct configurations, not samples.
+        """
+        from ..montecarlo.spec import Choice
+
+        return {
+            name: Choice(values=tuple(values))
+            for name, values in self.scenario_axes().items()
+        }
+
+    def duty_cycle_distribution(self) -> Any:
+        """Default per-user duty-cycle distribution (continuous axis).
+
+        Uniform over [0, 1] unless the workload knows better; must stay
+        bounded within [0, 1] (the spec validates declared bounds).
+        """
+        from ..montecarlo.spec import Uniform
+
+        return Uniform(low=0.0, high=1.0)
+
     # ------------------------------------------------------------ validation
     def check_config(self, config: Any) -> Any:
         """Reject configurations of the wrong workload early and legibly."""

@@ -287,6 +287,29 @@ class DRMReceiverWorkload(Workload):
         # the Montium scales a tile at a time, the ARM9 never keeps up.
         return {"n_channels": (1, 2, 3, 4)}
 
+    def population_axes(self) -> Mapping[str, Any]:
+        # Most receivers decode a single programme; multi-channel
+        # monitoring rigs thin out fast.
+        from ..montecarlo.spec import Choice
+
+        return {
+            "n_channels": Choice(
+                values=(1, 2, 3, 4), weights=(0.55, 0.25, 0.15, 0.05)
+            )
+        }
+
+    def duty_cycle_distribution(self) -> Any:
+        # Bimodal listeners: background/occasional (short news checks)
+        # vs programme followers who keep the receiver decoding.
+        from ..montecarlo.spec import Mixture, Normal
+
+        return Mixture(
+            components=(
+                (0.7, Normal(mean=0.08, std=0.05, low=0.0, high=1.0)),
+                (0.3, Normal(mean=0.55, std=0.15, low=0.0, high=1.0)),
+            )
+        )
+
     def chain(
         self, config: DRMReceiverConfig | None = None
     ) -> tuple[StageConfig, ...]:

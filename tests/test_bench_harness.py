@@ -66,15 +66,15 @@ class TestRegressionCheck:
     def test_default_guard_covers_every_fast_path(self):
         """CI guards the streaming kernel tier, the architecture fast
         paths, the batched sweep, the batched model layer, the adaptive
-        explorer, the fault-tolerant sweep path and the non-default
-        workload grids."""
+        explorer, the fault-tolerant sweep path, the non-default
+        workload grids and the population Monte-Carlo engine."""
         from repro.bench.report import GUARDED_BENCHES
 
         assert GUARDED_BENCHES == (
             "nco", "cic", "fir", "fixed_ddc", "sim_step",
             "rtl_ddc", "gpp_ddc", "montium_ddc", "scenario_sweep",
             "evaluator_batch", "explore_frontier", "sweep_faulty",
-            "drm_sweep", "ofdm_sweep",
+            "drm_sweep", "ofdm_sweep", "montecarlo_population",
         )
         # every guarded bench must be present on both sides, or the
         # guard fails
