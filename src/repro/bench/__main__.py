@@ -11,6 +11,7 @@ import argparse
 import sys
 
 from ..errors import ConfigurationError
+from ..telemetry import tracing
 from .report import GUARDED_BENCHES, check_regression, load_report, write_report
 from .runner import BENCH_NAMES, run_dsp_suite
 
@@ -49,6 +50,12 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional slowdown in --check mode "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a merged JSONL execution trace with one bench.run "
+        "span per bench (wall time, warmup + repeats included); "
+        "summarise with `python -m repro.telemetry PATH`",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -81,11 +88,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot use baseline {args.check}: {exc}", file=sys.stderr)
             return 2
 
-    results = run_dsp_suite(
-        quick=args.quick,
-        progress=lambda m: print(m, flush=True),
-        only=only,
-    )
+    with tracing(args.trace):
+        results = run_dsp_suite(
+            quick=args.quick,
+            progress=lambda m: print(m, flush=True),
+            only=only,
+        )
 
     print()
     for name, r in sorted(results.items()):

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..config import REFERENCE_DDC
 from ..dsp.cic import FixedCICDecimator
 from ..dsp.ddc import DDC, FixedDDC
@@ -176,8 +177,26 @@ def run_dsp_suite(
                 f"(expected among {', '.join(BENCH_NAMES)})"
             )
 
+    # Per-bench wall-time spans: ``want(name)`` is called once at the
+    # top of every bench block in suite order, so each call closes the
+    # previous bench's span and opens the next.  ``record_span`` emits
+    # retroactively from the measured interval — when telemetry is
+    # disabled the tracker stays empty and nothing is timed.
+    _active: list[tuple[str, float, float]] = []
+
+    def _close_bench() -> None:
+        if _active:
+            bench, t0, p0 = _active.pop()
+            telemetry.record_span(
+                "bench.run", t0, time.perf_counter() - p0, bench=bench
+            )
+
     def want(name: str) -> bool:
-        return only is None or name in only
+        run = only is None or name in only
+        _close_bench()
+        if run and telemetry.enabled():
+            _active.append((name, time.time(), time.perf_counter()))
+        return run
 
     n = QUICK_SAMPLES if quick else FULL_SAMPLES
     # The vectorised benches cost milliseconds: many repeats (best-of) cost
@@ -671,4 +690,5 @@ def run_dsp_suite(
             "size-independent); both include sampling, model evaluation "
             "and winner/percentile aggregation",
         )
+    _close_bench()
     return results

@@ -32,6 +32,7 @@ import functools
 from dataclasses import dataclass, fields
 from typing import Any, Sequence
 
+from .. import telemetry
 from ..archs.base import (
     ArchitectureModel,
     BatchImplementationReport,
@@ -182,8 +183,10 @@ class ReportCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            telemetry.counter("cache.hit")
             return entry
         self.misses += 1
+        telemetry.counter("cache.miss")
         batch = self._run_model(model, [config])
         entry = (batch.reports[0], batch.errors[0])
         self._entries[key] = entry
@@ -220,8 +223,14 @@ class ReportCache:
             else:
                 self.hits += 1
             outcomes.append(entry)
+        if len(configs) > len(missing):
+            telemetry.counter("cache.hit", len(configs) - len(missing))
+        telemetry.histogram(
+            "cache.batch_size", len(configs), misses=len(missing)
+        )
         if missing:
             self.misses += len(missing)
+            telemetry.counter("cache.miss", len(missing))
             fresh = self._run_model(
                 model, [configs[i] for i in missing]
             )
@@ -319,6 +328,9 @@ class DDCEvaluator:
         design-space explorer's Pareto engine both reuse the same batches
         so each model runs (or hits the cache) exactly once per axis.
         """
+        telemetry.histogram(
+            "evaluator.batch_size", len(configs), models=len(self.models)
+        )
         return [self._implement_batch(model, configs) for model in self.models]
 
     def _dynamic_powers(

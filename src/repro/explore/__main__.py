@@ -18,6 +18,13 @@ import time
 
 from ..core.evaluator import ReportCache
 from ..errors import ConfigurationError, ReproError
+from ..telemetry import tracing
+from ..telemetry.cli import (
+    add_telemetry_args,
+    cache_counts,
+    cache_stats_line,
+    print_metrics,
+)
 from ..workloads import get as get_workload
 from .refine import run_explore
 from .report import FORMATS
@@ -176,10 +183,22 @@ def main(argv: list[str] | None = None) -> int:
         help="run BOTH engines, require byte-identical reports, report "
         "the measured speedup; exits 1 on any divergence",
     )
+    add_telemetry_args(parser)
     args = parser.parse_args(argv)
 
     try:
-        spec = build_spec(args)
+        with tracing(args.trace):
+            return _run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    """The CLI body, inside the (possibly no-op) tracing context."""
+    spec = build_spec(args)
+    cache_before = cache_counts(spec.workload)
+    try:
         if args.store and (args.verify or args.engine != "adaptive"):
             # Silently skipping persistence would strand the user's next
             # warm start; say so instead.
@@ -228,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"{t_dense * 1e3:.2f} ms; speedup "
                 f"{t_dense / t_adaptive:.1f}x"
             )
+            if args.metrics:
+                print_metrics(cache_before, spec.workload)
             return 0
 
         store = ReportStore(args.store) if args.store else None
@@ -272,12 +293,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"to {args.store}",
                 file=sys.stderr,
             )
+        warm_line = None
+        if evaluator is not None and store is not None:
+            hits = evaluator.cache.hits - cache_before[0]
+            misses = evaluator.cache.misses - cache_before[1]
+            lookups = hits + misses
+            if lookups:
+                warm_line = (
+                    f"store warm-hit rate: {hits / lookups:.1%} "
+                    f"({hits}/{lookups} lookups served without a model "
+                    f"run)"
+                )
         if args.summary:
             print(report.summary())
+            print(cache_stats_line(cache_before, spec.workload))
+            if warm_line:
+                print(warm_line)
         else:
             report.write(args.output, args.format)
             if args.output != "-":
                 print(f"wrote {args.output}")
+        if args.metrics:
+            print_metrics(
+                cache_before, spec.workload,
+                extra=[warm_line] if warm_line else None,
+            )
         if report.partial:
             failed = sum(
                 1 for p in report.points for cell in p.cells if cell.failed

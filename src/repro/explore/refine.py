@@ -34,6 +34,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from .. import telemetry
 from ..config import DDCConfig
 from ..core.evaluator import DDCEvaluator
 from ..energy.scenarios import ScenarioAnalysis
@@ -299,17 +300,22 @@ def _tolerant_cell(
     re-visits it).  ``"raise"`` propagates, ``"retry"`` retries under
     :data:`~repro.resilience.DEFAULT_RETRY`, and any recorded failure
     becomes a :func:`_failed_outcome` sentinel.
+
+    Both engines funnel through here, so the ``explore.cell`` span (the
+    fault site's name) covers every cell evaluation exactly once,
+    retries included.
     """
-    if spec.on_error == "raise":
-        return build()
-    try:
-        if spec.on_error == "retry":
-            return call_with_retry(
-                build, DEFAULT_RETRY, label=f"explore cell {key}"
-            )
-        return build()
-    except Exception as exc:  # noqa: BLE001 — the error channel records it
-        return _failed_outcome(index, value, exc)
+    with telemetry.span("explore.cell", key=key):
+        if spec.on_error == "raise":
+            return build()
+        try:
+            if spec.on_error == "retry":
+                return call_with_retry(
+                    build, DEFAULT_RETRY, label=f"explore cell {key}"
+                )
+            return build()
+        except Exception as exc:  # noqa: BLE001 — the error channel records
+            return _failed_outcome(index, value, exc)
 
 
 # ------------------------------------------------------------ batched cells
@@ -561,57 +567,62 @@ def run_explore(
         evaluations = 0
         round_no = 0
     while pending:
-        fault_point("explore.round", key=round_no)
-        configs = [
-            spec.config_at(points[p], index) for p, index in pending
-        ]
-        data = _evaluate_cells_batch(
-            ev, spec, [index for _, index in pending], configs,
-            keys=[(points[p].index, index) for p, index in pending],
-        )
-        for (p, index), cell in zip(pending, data):
-            evaluated[p][index] = cell
-            counts[p] += 1
-        evaluations += len(pending)
-        pending = []
-        for p in range(len(points)):
-            budget = spec.max_evaluations
-            room = (
-                None if budget is None else max(0, budget - counts[p])
+        # One adaptive refinement round — span name matches the
+        # "explore.round" fault site below.
+        with telemetry.span(
+            "explore.round", round=round_no, cells=len(pending)
+        ):
+            fault_point("explore.round", key=round_no)
+            configs = [
+                spec.config_at(points[p], index) for p, index in pending
+            ]
+            data = _evaluate_cells_batch(
+                ev, spec, [index for _, index in pending], configs,
+                keys=[(points[p].index, index) for p, index in pending],
             )
-            indices = sorted(evaluated[p])
-            queued = 0
-            for a, b in zip(indices, indices[1:]):
-                if b - a <= 1:
-                    continue
-                sig_a = evaluated[p][a][0].signature()
-                sig_b = evaluated[p][b][0].signature()
-                if sig_a == sig_b:
-                    continue
-                if room is not None and queued >= room:
-                    break
-                pending.append((p, (a + b) // 2))
-                queued += 1
-        round_no += 1
-        if store is not None:
-            store.save_checkpoint(
-                spec,
-                ev.models,
-                {
-                    "round": round_no,
-                    "evaluations": evaluations,
-                    "counts": list(counts),
-                    "evaluated": [
-                        {
-                            str(index): _cell_to_doc(cell)
-                            for index, cell in sorted(point_cells.items())
-                        }
-                        for point_cells in evaluated
-                    ],
-                    "pending": [[p, index] for p, index in pending],
-                },
-                cache=getattr(ev, "cache", None),
-            )
+            for (p, index), cell in zip(pending, data):
+                evaluated[p][index] = cell
+                counts[p] += 1
+            evaluations += len(pending)
+            pending = []
+            for p in range(len(points)):
+                budget = spec.max_evaluations
+                room = (
+                    None if budget is None else max(0, budget - counts[p])
+                )
+                indices = sorted(evaluated[p])
+                queued = 0
+                for a, b in zip(indices, indices[1:]):
+                    if b - a <= 1:
+                        continue
+                    sig_a = evaluated[p][a][0].signature()
+                    sig_b = evaluated[p][b][0].signature()
+                    if sig_a == sig_b:
+                        continue
+                    if room is not None and queued >= room:
+                        break
+                    pending.append((p, (a + b) // 2))
+                    queued += 1
+            round_no += 1
+            if store is not None:
+                store.save_checkpoint(
+                    spec,
+                    ev.models,
+                    {
+                        "round": round_no,
+                        "evaluations": evaluations,
+                        "counts": list(counts),
+                        "evaluated": [
+                            {
+                                str(index): _cell_to_doc(cell)
+                                for index, cell in sorted(point_cells.items())
+                            }
+                            for point_cells in evaluated
+                        ],
+                        "pending": [[p, index] for p, index in pending],
+                    },
+                    cache=getattr(ev, "cache", None),
+                )
 
     coarse = spec.coarse_indices()
     results = []

@@ -47,6 +47,7 @@ from ..archs.base import (
     Flexibility,
     ImplementationReport,
 )
+from .. import telemetry
 from ..core.evaluator import ReportCache
 from ..energy.technology import TechnologyNode
 from ..errors import ConfigurationError, MappingError
@@ -153,6 +154,7 @@ class ReportStore:
         self.last_salvaged = len(bad_lines)
         if not bad_lines:
             return
+        telemetry.counter("store.salvaged", len(bad_lines))
         try:
             with self.quarantine_path.open("a") as fh:
                 for line in bad_lines:
@@ -305,35 +307,37 @@ class ReportStore:
         another process's model set — are left untouched on disk and
         simply not loaded.
         """
-        labels, reports, _, _ = self._read_records()
-        by_digest = {
-            model_digest(m.cache_key()): m.cache_key() for m in models
-        }
-        for digest, label in labels.items():
-            key = by_digest.get(digest)
-            if key is not None:
-                cache.insert_architecture(key, label)
-        loaded = 0
-        for record in reports.values():
-            key = by_digest.get(record["model"])
-            if key is None:
-                continue
-            config_key = tuple(record["config"])
-            if "report" in record:
-                cache.insert(
-                    key, config_key, _report_from_json(record["report"]),
-                    None,
-                )
-            else:
-                error_type = _ERROR_TYPES.get(record["error"]["type"])
-                if error_type is None:
+        with telemetry.span("store.load", path=str(self.path)):
+            labels, reports, _, _ = self._read_records()
+            by_digest = {
+                model_digest(m.cache_key()): m.cache_key() for m in models
+            }
+            for digest, label in labels.items():
+                key = by_digest.get(digest)
+                if key is not None:
+                    cache.insert_architecture(key, label)
+            loaded = 0
+            for record in reports.values():
+                key = by_digest.get(record["model"])
+                if key is None:
                     continue
-                cache.insert(
-                    key, config_key, None,
-                    error_type(record["error"]["message"]),
-                )
-            loaded += 1
-        return loaded
+                config_key = tuple(record["config"])
+                if "report" in record:
+                    cache.insert(
+                        key, config_key,
+                        _report_from_json(record["report"]), None,
+                    )
+                else:
+                    error_type = _ERROR_TYPES.get(record["error"]["type"])
+                    if error_type is None:
+                        continue
+                    cache.insert(
+                        key, config_key, None,
+                        error_type(record["error"]["message"]),
+                    )
+                loaded += 1
+            telemetry.counter("store.loaded", loaded)
+            return loaded
 
     def save(self, cache: ReportCache) -> int:
         """Spill every cache entry; returns the total records on disk.
@@ -342,10 +346,12 @@ class ReportStore:
         cache's current entries (cache wins on conflict); entries whose
         error type falls outside the cache contract are skipped.
         """
-        labels, reports, frontiers, checkpoints = self._read_records()
-        self._merge_cache(labels, reports, cache)
-        self._write_records(labels, reports, frontiers, checkpoints)
-        return len(reports)
+        with telemetry.span("store.save", path=str(self.path)):
+            labels, reports, frontiers, checkpoints = self._read_records()
+            self._merge_cache(labels, reports, cache)
+            self._write_records(labels, reports, frontiers, checkpoints)
+            telemetry.counter("store.saved", len(reports))
+            return len(reports)
 
     @staticmethod
     def _merge_cache(

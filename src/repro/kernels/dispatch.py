@@ -39,6 +39,7 @@ from __future__ import annotations
 import os
 from typing import Callable
 
+from .. import telemetry
 from ..errors import ConfigurationError
 
 #: Environment variable consulted when no explicit ``engine=`` is given.
@@ -121,18 +122,34 @@ def resolve(primitive: str, engine: str | None = None) -> str:
         )
     tiers = _REGISTRY.get(primitive, {})
     if engine == "auto":
-        return (
+        engine = (
             "jit"
             if _jit_available(primitive)
             else "fused"
             if "fused" in tiers
             else "python"
         )
-    if engine == "jit" and not _jit_available(primitive):
+    elif engine == "jit" and not _jit_available(primitive):
         engine = "fused"
     if engine == "fused" and "fused" not in tiers:
         engine = "python"
+    telemetry.counter("kernel.dispatch", primitive=primitive, engine=engine)
     return engine
+
+
+def active_engines(engine: str | None = None) -> dict[str, str]:
+    """The resolved tier per registered primitive, after degradation.
+
+    The introspection face of :func:`resolve`: the silent
+    ``jit`` → ``fused`` → ``python`` fallback is otherwise invisible, so
+    numba-absent CI legs (and ``--metrics`` CLI users) could not assert
+    which tier actually served a run.  ``engine`` follows the same
+    selector semantics as :func:`resolve` (``None`` = environment).
+    """
+    return {
+        primitive: resolve(primitive, engine)
+        for primitive in sorted(_REGISTRY)
+    }
 
 
 def kernel(primitive: str, engine: str) -> Callable:

@@ -17,6 +17,13 @@ import sys
 import time
 
 from ..errors import ConfigurationError, ReproError
+from ..telemetry import tracing
+from ..telemetry.cli import (
+    add_telemetry_args,
+    cache_counts,
+    cache_stats_line,
+    print_metrics,
+)
 from .engine import run_population
 from .spec import PopulationSpec, parse_distribution
 
@@ -150,10 +157,22 @@ def main(argv: list[str] | None = None) -> int:
         "require byte-identical reports, report the measured speedup; "
         "exits 1 on any divergence",
     )
+    add_telemetry_args(parser)
     args = parser.parse_args(argv)
 
     try:
-        spec = build_spec(args)
+        with tracing(args.trace):
+            return _run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    """The CLI body, inside the (possibly no-op) tracing context."""
+    spec = build_spec(args)
+    cache_before = cache_counts(spec.workload)
+    try:
         if args.verify:
             # Warm model/numpy import paths and the report cache so the
             # timed runs compare estimators, not first-call imports.
@@ -190,14 +209,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"{t_scalar * 1e3:.2f} ms, speedup "
                 f"{t_scalar / t_vector:.1f}x"
             )
+            if args.metrics:
+                print_metrics(cache_before, spec.workload)
             return 0
 
         report = run_population(
             spec, workers=args.workers, backend=args.backend,
             engine=args.engine,
         )
+        if args.metrics:
+            print_metrics(cache_before, spec.workload)
         if args.summary:
             print(report.summary())
+            print(cache_stats_line(cache_before, spec.workload))
         else:
             text = report.render()
             if args.output == "-":

@@ -55,6 +55,7 @@ from ..energy.scenarios import (
     effective_power_samples,
     winner_counts,
 )
+from .. import telemetry
 from ..errors import ConfigurationError, PartialResultError
 from ..faults import fault_point
 from ..parallel import parallel_map
@@ -382,8 +383,13 @@ def _chunk_task(
     index, start, duty_c, inverse_c = item
 
     def run() -> tuple[np.ndarray, np.ndarray]:
-        fault_point("montecarlo.chunk", key=index)
-        return _chunk_pass(table, duty_bins, duty_c, inverse_c)
+        # Span and fault site share the "montecarlo.chunk" vocabulary;
+        # each retry attempt times as its own span.
+        with telemetry.span(
+            "montecarlo.chunk", index=index, size=int(len(duty_c))
+        ):
+            fault_point("montecarlo.chunk", key=index)
+            return _chunk_pass(table, duty_bins, duty_c, inverse_c)
 
     if on_error == "raise":
         powers, counts = run()

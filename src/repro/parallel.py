@@ -60,6 +60,7 @@ attempt budget still bounds repeated kills.
 from __future__ import annotations
 
 import atexit
+import functools
 import threading
 import time
 from concurrent.futures import (
@@ -74,6 +75,7 @@ from concurrent.futures import (
 )
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from . import telemetry
 from .errors import ConfigurationError, TaskFailedError
 from .resilience import RetryPolicy
 
@@ -154,6 +156,22 @@ def _evict_pool(backend: str, workers: int) -> None:
         evicted.shutdown(wait=False)
 
 
+def _traced_task(fn: Callable[[T], R], item: T) -> R:
+    """Task wrapper applied only when tracing is enabled.
+
+    Emits one ``parallel.task`` span per execution and flushes the
+    worker's shard afterwards, so a worker killed between tasks loses at
+    most the task it was running (whose torn shard tail the merge
+    salvages).  Module-level so it survives the process backend's
+    pickling contract; the disabled hot path never sees this wrapper.
+    """
+    try:
+        with telemetry.span("parallel.task"):
+            return fn(item)
+    finally:
+        telemetry.flush()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -191,6 +209,11 @@ def parallel_map(
     seq: Sequence[T] = list(items)
     if not seq:
         return []
+    if telemetry.enabled():
+        # A partial of the module-level wrapper keeps the process
+        # backend's picklability contract; the disabled hot path never
+        # allocates it.
+        fn = functools.partial(_traced_task, fn)
     if not workers or workers <= 1 or len(seq) == 1:
         if retry is None:
             return [fn(x) for x in seq]
@@ -203,25 +226,39 @@ def parallel_map(
             )
             for i, x in enumerate(seq)
         ]
-    if retry is not None:
-        return _map_with_retry(fn, seq, workers, backend, retry, sleep)
-    pool = get_pool(backend, workers)
-    try:
-        if backend == "process":
-            # Chunking amortises the per-task pickle round-trip; the
-            # chunk size is a pure function of the request (not of pool
-            # state), and Executor.map reassembles chunk results in
-            # input order so determinism holds.
-            n_workers = min(workers, len(seq))
-            chunksize = max(1, len(seq) // (n_workers * 4))
-            return list(pool.map(fn, seq, chunksize=chunksize))
-        return list(pool.map(fn, seq))
-    except BrokenExecutor:
-        # Workers died (e.g. killed mid-task): shut the carcass down and
-        # evict it so the next call rebuilds a healthy pool, then
-        # surface the failure.
-        _evict_pool(backend, workers)
-        raise
+    telemetry.counter("parallel.submit", len(seq), backend=backend)
+    with telemetry.span(
+        "parallel.map", backend=backend, workers=workers, items=len(seq)
+    ):
+        try:
+            if retry is not None:
+                return _map_with_retry(
+                    fn, seq, workers, backend, retry, sleep
+                )
+            pool = get_pool(backend, workers)
+            try:
+                if backend == "process":
+                    # Chunking amortises the per-task pickle round-trip;
+                    # the chunk size is a pure function of the request
+                    # (not of pool state), and Executor.map reassembles
+                    # chunk results in input order so determinism holds.
+                    n_workers = min(workers, len(seq))
+                    chunksize = max(1, len(seq) // (n_workers * 4))
+                    return list(pool.map(fn, seq, chunksize=chunksize))
+                return list(pool.map(fn, seq))
+            except BrokenExecutor:
+                # Workers died (e.g. killed mid-task): shut the carcass
+                # down and evict it so the next call rebuilds a healthy
+                # pool, then surface the failure.
+                telemetry.counter("parallel.broken_pool", backend=backend)
+                _evict_pool(backend, workers)
+                raise
+        finally:
+            # Pool drain: the parent's merge point.  Flushing here means
+            # every record emitted during the map is on disk before the
+            # caller (e.g. the --trace CLI exit path) merges shards.
+            telemetry.event("pool.drain", backend=backend, workers=workers)
+            telemetry.flush()
 
 
 def _map_with_retry(
@@ -257,6 +294,9 @@ def _map_with_retry(
     def fail(index: int, exc: Exception) -> Exception | None:
         """Charge one attempt; returns the terminal error if exhausted."""
         attempts[index] += 1
+        telemetry.counter(
+            "parallel.retry", index=index, error=type(exc).__name__
+        )
         if attempts[index] >= policy.max_attempts:
             return TaskFailedError(
                 f"item {index} failed on every one of "
@@ -272,6 +312,7 @@ def _map_with_retry(
             i += 1
             continue
         except BrokenExecutor as exc:
+            telemetry.counter("parallel.broken_pool", backend=backend)
             terminal = fail(i, exc)
             if terminal is not None:
                 _evict_pool(backend, workers)

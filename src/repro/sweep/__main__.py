@@ -15,6 +15,13 @@ import sys
 import time
 
 from ..errors import ConfigurationError, ReproError
+from ..telemetry import tracing
+from ..telemetry.cli import (
+    add_telemetry_args,
+    cache_counts,
+    cache_stats_line,
+    print_metrics,
+)
 from .engine import run_sweep
 from .report import FORMATS
 from .spec import SweepSpec
@@ -134,10 +141,22 @@ def main(argv: list[str] | None = None) -> int:
         help="run BOTH engines, require byte-identical reports, report "
         "the measured speedup; exits 1 on any divergence",
     )
+    add_telemetry_args(parser)
     args = parser.parse_args(argv)
 
     try:
-        spec = build_spec(args)
+        with tracing(args.trace):
+            return _run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    """The CLI body, inside the (possibly no-op) tracing context."""
+    spec = build_spec(args)
+    cache_before = cache_counts(spec.workload)
+    try:
         if args.verify:
             # Warm the model/numpy import paths so the timed runs compare
             # grid evaluation, not first-call import costs.
@@ -172,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"{t_scalar * 1e3:.2f} ms, speedup "
                 f"{t_scalar / t_batch:.1f}x"
             )
+            if args.metrics:
+                print_metrics(cache_before, spec.workload)
             return 0
 
         report = run_sweep(
@@ -180,10 +201,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         if args.summary:
             print(report.summary())
+            print(cache_stats_line(cache_before, spec.workload))
         else:
             report.write(args.output, args.format)
             if args.output != "-":
                 print(f"wrote {args.output}")
+        if args.metrics:
+            print_metrics(cache_before, spec.workload)
         if report.partial:
             print(
                 f"warning: partial report — {len(report.failures)} "

@@ -46,6 +46,7 @@ from ..energy.scenarios import (
     duty_cycle_crossover_batch,
     duty_grid,
 )
+from .. import telemetry
 from ..errors import ConfigurationError, PartialResultError
 from ..faults import fault_point
 from ..parallel import parallel_map
@@ -267,7 +268,21 @@ def _point_result(
     candidates: list[ScenarioCandidate],
     engine: str,
 ) -> PointResult:
-    """The duty-cycle x candidate grid of one point, either engine."""
+    """The duty-cycle x candidate grid of one point, either engine.
+
+    Span and fault site share the ``sweep.point`` name so a trace and
+    the chaos suite describe the same place.
+    """
+    with telemetry.span("sweep.point", index=point.index, engine=engine):
+        return _point_grid(spec, point, candidates, engine)
+
+
+def _point_grid(
+    spec: SweepSpec,
+    point: SweepPoint,
+    candidates: list[ScenarioCandidate],
+    engine: str,
+) -> PointResult:
     fault_point("sweep.point", key=point.index)
     analysis = ScenarioAnalysis(candidates)
     steps = spec.duty_cycle_steps

@@ -1,0 +1,66 @@
+"""CLI: summarise a trace produced by the ``--trace`` flags.
+
+``python -m repro.telemetry TRACE`` accepts either a merged trace file
+(what ``--trace PATH`` writes) or a raw shard directory (a
+``REPRO_TRACE_DIR`` that was never merged) and prints per-span-name
+duration stats, counter totals, report-cache hit rates, worker
+utilisation and the top-N slowest spans.  ``--json`` emits the summary
+document instead, for machine consumers (CI artifacts).
+
+Exit codes: 0 summary rendered; 2 unreadable or empty trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .collect import load_trace
+from .summary import render, summarize
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarise a repro execution trace (JSONL).",
+    )
+    parser.add_argument(
+        "trace",
+        help="merged trace file written by --trace PATH, or a shard "
+        "directory (REPRO_TRACE_DIR)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest spans to list (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no trace records in {args.trace!r}", file=sys.stderr)
+        return 2
+
+    doc = summarize(records)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render(doc, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

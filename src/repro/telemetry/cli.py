@@ -1,0 +1,98 @@
+"""Shared ``--trace`` / ``--metrics`` plumbing for the stack's CLIs.
+
+The sweep, explore, montecarlo and bench entry points all grow the same
+two observability flags; this module keeps their wiring in one place:
+
+- :func:`add_telemetry_args` registers the flags;
+- :func:`cache_counts` / :func:`cache_stats_line` surface the
+  previously-dropped ``ReportCache.hits``/``misses`` counters as a
+  per-run delta against the shared per-process evaluator cache;
+- :func:`kernel_tier_line` renders
+  :func:`repro.kernels.dispatch.active_engines` so the silently resolved
+  kernel tier is visible;
+- :func:`print_metrics` emits both to **stderr** — metrics must never
+  touch the stdout report stream the ``--verify`` byte-identity contract
+  covers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+
+def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Register ``--trace PATH`` and ``--metrics`` on a stack CLI."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a merged JSONL execution trace of this run (pool "
+        "workers included) to PATH; summarise it with "
+        "`python -m repro.telemetry PATH`",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print report-cache hit rates and resolved kernel tiers to "
+        "stderr after the run (never touches the report on stdout)",
+    )
+
+
+def cache_counts(workload: str | None) -> tuple[int, int]:
+    """``(hits, misses)`` of the workload's shared per-process cache."""
+    from ..workloads import get
+
+    cache = getattr(get(workload).shared_evaluator(), "cache", None)
+    if cache is None:
+        return (0, 0)
+    return (cache.hits, cache.misses)
+
+
+def cache_stats_line(
+    before: tuple[int, int], workload: str | None
+) -> str:
+    """One line of cache behaviour since the ``before`` snapshot.
+
+    Scalar-oracle paths run on fresh uncached evaluators by design, so a
+    zero-lookup run is stated rather than divided by.
+    """
+    h0, m0 = before
+    hits, misses = cache_counts(workload)
+    dh, dm = hits - h0, misses - m0
+    lookups = dh + dm
+    if not lookups:
+        return (
+            "report-cache: no shared-cache lookups in this run "
+            "(scalar paths run uncached by design)"
+        )
+    return (
+        f"report-cache: {dh} hit(s), {dm} miss(es) — "
+        f"{dh / lookups:.1%} hit rate over {lookups} lookup(s)"
+    )
+
+
+def kernel_tier_line() -> str:
+    """The resolved engine tier per kernel primitive, one line."""
+    from ..kernels.dispatch import active_engines
+
+    tiers = active_engines()
+    if not tiers:
+        return "kernel tiers: none registered"
+    return "kernel tiers: " + " ".join(
+        f"{primitive}={engine}" for primitive, engine in tiers.items()
+    )
+
+
+def print_metrics(
+    before: tuple[int, int],
+    workload: str | None,
+    extra: list[str] | None = None,
+    stream: TextIO | None = None,
+) -> None:
+    """The ``--metrics`` epilogue (stderr only — see module docstring)."""
+    if stream is None:
+        # Resolve at call time so redirected/captured stderr is honoured.
+        stream = sys.stderr
+    print(cache_stats_line(before, workload), file=stream)
+    for line in extra or []:
+        print(line, file=stream)
+    print(kernel_tier_line(), file=stream)

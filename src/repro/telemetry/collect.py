@@ -1,0 +1,126 @@
+"""Shard collection: merge per-pid trace shards into one JSONL trace.
+
+Every traced process appends records to its own ``shard-<pid>.jsonl``
+under the ``REPRO_TRACE_DIR`` directory (no cross-process locking — one
+writer per file).  :func:`merge_trace` turns a shard directory into a
+single trace file:
+
+- a header line ``{"schema": "repro-trace/v1", ...}`` carrying record /
+  shard / salvage counts, then one record per line;
+- records sorted on ``(pid, seq)`` — a total order independent of
+  scheduling, so merging the same shards twice is byte-identical
+  (pinned by tests);
+- **torn-tail salvage**: a worker killed mid-append (the chaos suite's
+  ``kill`` faults) leaves a truncated last line; unparseable lines are
+  counted in the header's ``salvaged`` field and skipped, never
+  propagated — a damaged trace must not take down the run that produced
+  it.
+
+The merged file is written atomically (temp file + ``os.replace``),
+mirroring :class:`repro.explore.store.ReportStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from . import SCHEMA, SHARD_PREFIX
+
+
+def read_shards(trace_dir: str | os.PathLike) -> tuple[list[dict], int, int]:
+    """Parse every shard under ``trace_dir``.
+
+    Returns ``(records, n_shards, n_salvaged)`` with records sorted on
+    ``(pid, seq)``.  Unparseable lines (torn tails from killed workers)
+    are skipped and counted, not raised.
+    """
+    records: list[dict] = []
+    salvaged = 0
+    shards = sorted(Path(trace_dir).glob(f"{SHARD_PREFIX}*.jsonl"))
+    for shard in shards:
+        try:
+            text = shard.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            salvaged += 1
+            continue
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                salvaged += 1
+                continue
+            if not isinstance(rec, dict) or "kind" not in rec:
+                salvaged += 1
+                continue
+            records.append(rec)
+    records.sort(key=_order_key)
+    return records, len(shards), salvaged
+
+
+def _order_key(rec: dict) -> tuple[int, int]:
+    return (int(rec.get("pid", 0)), int(rec.get("seq", 0)))
+
+
+def merge_trace(
+    shard_dir: str | os.PathLike, out_path: str | os.PathLike
+) -> dict:
+    """Merge the shards under ``shard_dir`` into one trace at ``out_path``.
+
+    Returns the header document.  The write is atomic and the output is
+    a pure function of shard contents (header + ``(pid, seq)``-sorted
+    records, keys sorted), so repeated merges are byte-identical.
+    """
+    records, n_shards, salvaged = read_shards(shard_dir)
+    header = {
+        "schema": SCHEMA,
+        "records": len(records),
+        "shards": n_shards,
+        "salvaged": salvaged,
+    }
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(out.parent), prefix=out.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True, default=repr) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, out)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return header
+
+
+def load_trace(path: str | os.PathLike) -> list[dict]:
+    """Records from a merged trace file *or* a raw shard directory.
+
+    Header lines are recognised by their ``schema`` key and dropped;
+    damaged lines are skipped (same salvage semantics as the merge).
+    """
+    p = Path(path)
+    if p.is_dir():
+        records, _, _ = read_shards(p)
+        return records
+    records = []
+    for line in p.read_text(encoding="utf-8", errors="replace").splitlines():
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(rec, dict) or "schema" in rec or "kind" not in rec:
+            continue
+        records.append(rec)
+    records.sort(key=_order_key)
+    return records
